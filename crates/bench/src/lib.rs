@@ -1,0 +1,1 @@
+//! Benchmark crate — bench targets live in `benches/`.

@@ -1,0 +1,258 @@
+//! The benefit function (Equation 1) and its incremental maintenance.
+//!
+//! The benefit of placing a sensor at candidate point `c` is
+//! `b(c) = Σ_{p : d(p,c) ≤ rs} max(k − k_p, 0)` — the total remaining
+//! coverage deficit the new sensor would bite into. DECOR always places at
+//! the maximum-benefit candidate.
+//!
+//! Two evaluators:
+//! - [`benefit_at`] — direct evaluation, O(points within `rs`);
+//! - [`BenefitTable`] — a table of benefits over a candidate set, updated
+//!   incrementally when a sensor lands: a placement at `q` only changes
+//!   `k_p` for points within `rs` of `q`, and therefore only the benefits
+//!   of candidates within `2·rs` of `q`. The centralized baseline does
+//!   thousands of placements over 2000 candidates; incremental updates
+//!   turn each step from O(N·deg) into O(deg²). The two evaluators are
+//!   property-tested equivalent (and benched against each other in the
+//!   ablation suite).
+
+use crate::coverage::CoverageMap;
+use decor_geom::{GridIndex, Point};
+
+/// Direct evaluation of Equation 1 at candidate position `c`.
+pub fn benefit_at(map: &CoverageMap, c: Point, rs: f64, k: u32) -> u64 {
+    let mut b = 0u64;
+    map.for_each_point_within(c, rs, |pid, _| {
+        let kp = map.coverage(pid);
+        if kp < k {
+            b += (k - kp) as u64;
+        }
+    });
+    b
+}
+
+/// Incrementally-maintained benefits over a fixed candidate set.
+///
+/// Candidates are approximation-point ids of the underlying map (DECOR
+/// places new sensors *at* approximation points). The table does not hold
+/// a reference to the map — callers pass it to [`BenefitTable::on_sensor_added`]
+/// right after each `add_sensor`, keeping borrows simple.
+#[derive(Clone, Debug)]
+pub struct BenefitTable {
+    rs: f64,
+    k: u32,
+    /// Candidate point ids, parallel to `benefits`.
+    cand_pids: Vec<usize>,
+    cand_pos: Vec<Point>,
+    benefits: Vec<u64>,
+    /// Spatial index over candidate positions; payload is the *slot* index.
+    cand_index: GridIndex,
+}
+
+impl BenefitTable {
+    /// Builds the table for the given candidate point ids, computing every
+    /// initial benefit directly.
+    pub fn new(map: &CoverageMap, cand_pids: Vec<usize>, rs: f64, k: u32) -> Self {
+        let field = map.field();
+        let bucket = rs.max(field.width().min(field.height()) / 64.0);
+        let mut cand_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
+        let mut cand_pos = Vec::with_capacity(cand_pids.len());
+        let mut benefits = Vec::with_capacity(cand_pids.len());
+        for (slot, &pid) in cand_pids.iter().enumerate() {
+            let pos = map.points()[pid];
+            cand_index.insert(slot, pos);
+            cand_pos.push(pos);
+            benefits.push(benefit_at(map, pos, rs, k));
+        }
+        BenefitTable {
+            rs,
+            k,
+            cand_pids,
+            cand_pos,
+            benefits,
+            cand_index,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.cand_pids.len()
+    }
+
+    /// True when the candidate set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cand_pids.is_empty()
+    }
+
+    /// Current benefit of candidate slot `slot`.
+    pub fn benefit(&self, slot: usize) -> u64 {
+        self.benefits[slot]
+    }
+
+    /// The best candidate: `(slot, point_id, position, benefit)` with the
+    /// maximum benefit; ties break towards the lowest slot (deterministic).
+    /// Returns `None` when every candidate has zero benefit.
+    pub fn best(&self) -> Option<(usize, usize, Point, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (slot, &b) in self.benefits.iter().enumerate() {
+            if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                best = Some((slot, b));
+            }
+        }
+        best.map(|(slot, b)| (slot, self.cand_pids[slot], self.cand_pos[slot], b))
+    }
+
+    /// Notifies the table that a sensor of radius `rs_new` landed at `q`
+    /// *after* the map was updated. Only candidates within `rs_new + rs`
+    /// of `q` can have changed; their benefits are recomputed directly.
+    ///
+    /// Recomputing (rather than differential ±1 bookkeeping) keeps the
+    /// update correct for heterogeneous radii at the same asymptotic cost.
+    pub fn on_sensor_added(&mut self, map: &CoverageMap, q: Point, rs_new: f64) {
+        let radius = rs_new + self.rs;
+        let rs = self.rs;
+        let k = self.k;
+        // Collect affected slots first: recomputation borrows `map`.
+        let mut affected = Vec::new();
+        self.cand_index.for_each_within(q, radius, |slot, _| {
+            affected.push(slot);
+        });
+        for slot in affected {
+            self.benefits[slot] = benefit_at(map, self.cand_pos[slot], rs, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeploymentConfig;
+    use decor_geom::Aabb;
+    use decor_lds::halton_points;
+
+    fn setup(n_pts: usize) -> (CoverageMap, DeploymentConfig) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::default();
+        let map = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+        (map, cfg)
+    }
+
+    #[test]
+    fn benefit_of_empty_map_counts_full_deficit() {
+        let (map, cfg) = setup(500);
+        let c = map.points()[7];
+        let in_range = map.points_within(c, cfg.rs).len() as u64;
+        assert_eq!(benefit_at(&map, c, cfg.rs, cfg.k), in_range * cfg.k as u64);
+    }
+
+    #[test]
+    fn benefit_drops_after_placement() {
+        let (mut map, cfg) = setup(500);
+        let c = map.points()[7];
+        let before = benefit_at(&map, c, cfg.rs, cfg.k);
+        map.add_sensor(c, cfg.rs);
+        let after = benefit_at(&map, c, cfg.rs, cfg.k);
+        assert!(after < before);
+        // Every in-range point lost exactly one unit of deficit.
+        let in_range = map.points_within(c, cfg.rs).len() as u64;
+        assert_eq!(before - after, in_range);
+    }
+
+    #[test]
+    fn benefit_is_zero_when_saturated() {
+        let (mut map, cfg) = setup(200);
+        let c = map.points()[0];
+        for _ in 0..cfg.k {
+            map.add_sensor(c, 200.0); // covers everything
+        }
+        assert_eq!(benefit_at(&map, c, cfg.rs, cfg.k), 0);
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation_initially() {
+        let (map, cfg) = setup(400);
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+        for (slot, &pid) in cands.iter().enumerate() {
+            assert_eq!(
+                table.benefit(slot),
+                benefit_at(&map, map.points()[pid], cfg.rs, cfg.k)
+            );
+        }
+    }
+
+    #[test]
+    fn table_stays_consistent_across_many_placements() {
+        let (mut map, cfg) = setup(400);
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let mut table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+        // Place 40 sensors at a deterministic spread of points.
+        for step in 0..40usize {
+            let pid = (step * 97) % map.n_points();
+            let q = map.points()[pid];
+            map.add_sensor(q, cfg.rs);
+            table.on_sensor_added(&map, q, cfg.rs);
+        }
+        for (slot, &pid) in cands.iter().enumerate() {
+            assert_eq!(
+                table.benefit(slot),
+                benefit_at(&map, map.points()[pid], cfg.rs, cfg.k),
+                "slot {slot} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn best_picks_maximum_and_breaks_ties_low() {
+        let (map, cfg) = setup(300);
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let table = BenefitTable::new(&map, cands, cfg.rs, cfg.k);
+        let (slot, pid, pos, b) = table.best().expect("uncovered map has benefit");
+        assert_eq!(pid, slot, "identity candidate mapping here");
+        assert_eq!(pos, map.points()[pid]);
+        for s in 0..table.len() {
+            assert!(table.benefit(s) <= b);
+            if table.benefit(s) == b {
+                assert!(slot <= s, "tie must break to the lowest slot");
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_none_when_fully_covered() {
+        let (mut map, cfg) = setup(200);
+        for _ in 0..cfg.k {
+            map.add_sensor(Point::new(50.0, 50.0), 200.0);
+        }
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let table = BenefitTable::new(&map, cands, cfg.rs, cfg.k);
+        assert!(table.best().is_none());
+    }
+
+    #[test]
+    fn subset_candidate_table() {
+        let (map, cfg) = setup(300);
+        let cands = vec![3, 77, 150];
+        let table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+        assert_eq!(table.len(), 3);
+        let (_, pid, _, _) = table.best().unwrap();
+        assert!(cands.contains(&pid));
+    }
+
+    #[test]
+    fn update_outside_influence_radius_is_noop() {
+        let (mut map, cfg) = setup(400);
+        let cands = vec![0usize];
+        let c0 = map.points()[0];
+        let mut table = BenefitTable::new(&map, cands, cfg.rs, cfg.k);
+        let before = table.benefit(0);
+        // A sensor far from candidate 0 cannot change its benefit.
+        let far = Point::new(
+            if c0.x < 50.0 { 95.0 } else { 5.0 },
+            if c0.y < 50.0 { 95.0 } else { 5.0 },
+        );
+        map.add_sensor(far, cfg.rs);
+        table.on_sensor_added(&map, far, cfg.rs);
+        assert_eq!(table.benefit(0), before);
+    }
+}

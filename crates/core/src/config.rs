@@ -1,0 +1,162 @@
+//! Deployment configuration shared by all placement algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a coverage-restoration run.
+///
+/// Defaults reproduce the paper's setup: sensing radius `rs = 4`,
+/// communication radius `rc = 2·rs = 8`, coverage requirement `k = 3`
+/// (the value Figs. 7 and 11 use), and a generous safety cap on the total
+/// number of sensors so a mis-configured run terminates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Sensing radius `rs`.
+    pub rs: f64,
+    /// Communication radius `rc` (the paper's standing assumption is
+    /// `rs <= rc`; schemes that need a larger radius — grid inter-leader
+    /// traffic — compute their own).
+    pub rc: f64,
+    /// Coverage requirement `k >= 1`: every point must be covered by at
+    /// least `k` sensors.
+    pub k: u32,
+    /// Hard cap on sensors a placer may add (loop-safety for the random
+    /// baseline and adversarial configurations).
+    pub max_new_nodes: usize,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            rs: 4.0,
+            rc: 8.0,
+            k: 3,
+            max_new_nodes: 100_000,
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// A config with the paper's radii and the given `k`.
+    pub fn with_k(k: u32) -> Self {
+        DeploymentConfig {
+            k,
+            ..DeploymentConfig::default()
+        }
+    }
+
+    /// Validates invariants; placers call this on entry.
+    pub fn validate(&self) {
+        assert!(self.rs > 0.0 && self.rs.is_finite(), "rs must be positive");
+        assert!(
+            self.rc >= self.rs,
+            "paper assumption rs <= rc violated (rs={}, rc={})",
+            self.rs,
+            self.rc
+        );
+        assert!(self.k >= 1, "coverage requirement k must be at least 1");
+        assert!(self.max_new_nodes > 0, "max_new_nodes must be positive");
+    }
+}
+
+/// The six algorithm configurations evaluated in the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Grid-based DECOR, 5×5 cells ("small cell").
+    GridSmall,
+    /// Grid-based DECOR, 10×10 cells ("big cell").
+    GridBig,
+    /// Voronoi-based DECOR, `rc = 2·rs = 8` ("small rc").
+    VoronoiSmall,
+    /// Voronoi-based DECOR, `rc = 10·√2 ≈ 14.14` ("big rc").
+    VoronoiBig,
+    /// Centralized greedy baseline (global view).
+    Centralized,
+    /// Random placement baseline.
+    Random,
+}
+
+impl SchemeKind {
+    /// All six, in the paper's legend order.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::GridSmall,
+        SchemeKind::GridBig,
+        SchemeKind::VoronoiSmall,
+        SchemeKind::VoronoiBig,
+        SchemeKind::Centralized,
+        SchemeKind::Random,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::GridSmall => "Grid (small cell)",
+            SchemeKind::GridBig => "Grid (big cell)",
+            SchemeKind::VoronoiSmall => "Voronoi (small rc)",
+            SchemeKind::VoronoiBig => "Voronoi (big rc)",
+            SchemeKind::Centralized => "Centralized",
+            SchemeKind::Random => "Random",
+        }
+    }
+
+    /// True for the four distributed DECOR variants.
+    pub fn is_decor(&self) -> bool {
+        !matches!(self, SchemeKind::Centralized | SchemeKind::Random)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DeploymentConfig::default();
+        assert_eq!(c.rs, 4.0);
+        assert_eq!(c.rc, 8.0);
+        assert_eq!(c.k, 3);
+        c.validate();
+    }
+
+    #[test]
+    fn with_k_overrides_only_k() {
+        let c = DeploymentConfig::with_k(5);
+        assert_eq!(c.k, 5);
+        assert_eq!(c.rs, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rs <= rc")]
+    fn validate_rejects_rc_below_rs() {
+        DeploymentConfig {
+            rs: 4.0,
+            rc: 2.0,
+            ..DeploymentConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn validate_rejects_zero_k() {
+        DeploymentConfig {
+            k: 0,
+            ..DeploymentConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            SchemeKind::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn decor_classification() {
+        assert!(SchemeKind::GridSmall.is_decor());
+        assert!(SchemeKind::VoronoiBig.is_decor());
+        assert!(!SchemeKind::Centralized.is_decor());
+        assert!(!SchemeKind::Random.is_decor());
+    }
+}

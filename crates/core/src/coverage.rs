@@ -1,0 +1,452 @@
+//! The coverage map: the paper's discrete representation of the monitored
+//! area (§3.2).
+//!
+//! A [`CoverageMap`] holds the approximation points of the field (Halton
+//! points in the paper's experiments) and, for each point `p`, the count
+//! `k_p` of active sensors covering it. Sensors are added incrementally —
+//! each placement updates only the points within its sensing disk via a
+//! spatial hash-grid — and can be deactivated/reactivated to drive the
+//! failure experiments without rebuilding the map.
+
+use crate::config::DeploymentConfig;
+use decor_geom::{Aabb, GridIndex, Point};
+
+/// Index of a sensor within its [`CoverageMap`].
+pub type SensorId = usize;
+
+#[derive(Clone, Copy, Debug)]
+struct Sensor {
+    pos: Point,
+    rs: f64,
+    active: bool,
+}
+
+/// Discrete coverage state of a field.
+///
+/// ```
+/// use decor_core::{CoverageMap, DeploymentConfig};
+/// use decor_geom::{Aabb, Point};
+/// use decor_lds::halton_points;
+///
+/// let field = Aabb::square(100.0);
+/// let cfg = DeploymentConfig::default();
+/// let mut map = CoverageMap::new(halton_points(500, &field), &field, &cfg);
+/// assert_eq!(map.fraction_k_covered(1), 0.0);
+/// let s = map.add_sensor(Point::new(50.0, 50.0), 30.0);
+/// assert!(map.fraction_k_covered(1) > 0.2);
+/// map.deactivate_sensor(s); // failures are reversible bookkeeping
+/// assert_eq!(map.fraction_k_covered(1), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoverageMap {
+    field: Aabb,
+    points: Vec<Point>,
+    coverage: Vec<u32>,
+    pt_index: GridIndex,
+    sensors: Vec<Sensor>,
+    sensor_index: GridIndex,
+    max_rs: f64,
+}
+
+impl CoverageMap {
+    /// Builds a map over `points` (the field approximation). The spatial
+    /// index bucket size is tied to `cfg.rs`, the dominant query radius.
+    ///
+    /// Panics if any point lies outside `field` or the point set is empty.
+    pub fn new(points: Vec<Point>, field: &Aabb, cfg: &DeploymentConfig) -> Self {
+        cfg.validate();
+        assert!(
+            !points.is_empty(),
+            "a coverage map needs at least one point"
+        );
+        for &p in &points {
+            assert!(
+                field.contains(p),
+                "approximation point {p} outside the field"
+            );
+        }
+        let bucket = cfg.rs.max(field.width().min(field.height()) / 64.0);
+        let mut pt_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
+        for (i, &p) in points.iter().enumerate() {
+            pt_index.insert(i, p);
+        }
+        let sensor_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
+        let n = points.len();
+        CoverageMap {
+            field: *field,
+            points,
+            coverage: vec![0; n],
+            pt_index,
+            sensors: Vec::new(),
+            sensor_index,
+            max_rs: 0.0,
+        }
+    }
+
+    /// The monitored field.
+    pub fn field(&self) -> &Aabb {
+        &self.field
+    }
+
+    /// The approximation points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of approximation points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Current coverage count `k_p` of point `pid`.
+    #[inline]
+    pub fn coverage(&self, pid: usize) -> u32 {
+        self.coverage[pid]
+    }
+
+    /// Ids of approximation points within distance `r` of `q`.
+    pub fn points_within(&self, q: Point, r: f64) -> Vec<usize> {
+        self.pt_index.within(q, r)
+    }
+
+    /// Visits `(point_id, position)` for approximation points within `r`
+    /// of `q` without allocating.
+    pub fn for_each_point_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, f: F) {
+        self.pt_index.for_each_within(q, r, f)
+    }
+
+    /// Adds an active sensor; updates coverage of all points in its disk.
+    pub fn add_sensor(&mut self, pos: Point, rs: f64) -> SensorId {
+        assert!(
+            rs > 0.0 && rs.is_finite(),
+            "sensing radius must be positive"
+        );
+        let id = self.sensors.len();
+        self.sensors.push(Sensor {
+            pos,
+            rs,
+            active: true,
+        });
+        self.sensor_index.insert(id, pos);
+        self.max_rs = self.max_rs.max(rs);
+        let coverage = &mut self.coverage;
+        self.pt_index.for_each_within(pos, rs, |pid, _| {
+            coverage[pid] += 1;
+        });
+        id
+    }
+
+    /// Number of sensors ever added (active and inactive).
+    pub fn n_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Number of currently active sensors.
+    pub fn n_active_sensors(&self) -> usize {
+        self.sensors.iter().filter(|s| s.active).count()
+    }
+
+    /// Position of sensor `id`.
+    pub fn sensor_pos(&self, id: SensorId) -> Point {
+        self.sensors[id].pos
+    }
+
+    /// Sensing radius of sensor `id`.
+    pub fn sensor_rs(&self, id: SensorId) -> f64 {
+        self.sensors[id].rs
+    }
+
+    /// Is sensor `id` active?
+    pub fn sensor_active(&self, id: SensorId) -> bool {
+        self.sensors[id].active
+    }
+
+    /// Deactivates sensor `id` (failure), decrementing covered points.
+    /// Idempotent; returns whether the sensor was active.
+    pub fn deactivate_sensor(&mut self, id: SensorId) -> bool {
+        if !self.sensors[id].active {
+            return false;
+        }
+        self.sensors[id].active = false;
+        let pos = self.sensors[id].pos;
+        let rs = self.sensors[id].rs;
+        self.sensor_index.remove(id, pos);
+        let coverage = &mut self.coverage;
+        self.pt_index.for_each_within(pos, rs, |pid, _| {
+            debug_assert!(coverage[pid] > 0, "coverage underflow");
+            coverage[pid] -= 1;
+        });
+        true
+    }
+
+    /// Reactivates a previously deactivated sensor. Idempotent; returns
+    /// whether the sensor was inactive.
+    pub fn reactivate_sensor(&mut self, id: SensorId) -> bool {
+        if self.sensors[id].active {
+            return false;
+        }
+        self.sensors[id].active = true;
+        let pos = self.sensors[id].pos;
+        let rs = self.sensors[id].rs;
+        self.sensor_index.insert(id, pos);
+        let coverage = &mut self.coverage;
+        self.pt_index.for_each_within(pos, rs, |pid, _| {
+            coverage[pid] += 1;
+        });
+        true
+    }
+
+    /// Ids of active sensors within distance `r` of `q` (sorted).
+    pub fn sensors_within(&self, q: Point, r: f64) -> Vec<SensorId> {
+        let mut v = self.sensor_index.within(q, r);
+        v.sort_unstable();
+        v
+    }
+
+    /// Visits `(sensor_id, position)` of active sensors within `r` of `q`.
+    pub fn for_each_sensor_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, f: F) {
+        self.sensor_index.for_each_within(q, r, f)
+    }
+
+    /// Active sensors covering point `q` (their own `rs` honored).
+    pub fn sensors_covering(&self, q: Point) -> Vec<SensorId> {
+        if self.max_rs == 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.sensor_index
+            .for_each_within(q, self.max_rs, |id, pos| {
+                let s = &self.sensors[id];
+                debug_assert_eq!(pos, s.pos);
+                if q.dist_sq(s.pos) <= s.rs * s.rs {
+                    out.push(id);
+                }
+            });
+        out.sort_unstable();
+        out
+    }
+
+    /// Fraction of approximation points with coverage `>= k`.
+    pub fn fraction_k_covered(&self, k: u32) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let covered = self.coverage.iter().filter(|&&c| c >= k).count();
+        covered as f64 / self.points.len() as f64
+    }
+
+    /// Number of points with coverage below `k`.
+    pub fn count_below(&self, k: u32) -> usize {
+        self.coverage.iter().filter(|&&c| c < k).count()
+    }
+
+    /// Ids of points with coverage below `k`.
+    pub fn uncovered_ids(&self, k: u32) -> Vec<usize> {
+        (0..self.points.len())
+            .filter(|&i| self.coverage[i] < k)
+            .collect()
+    }
+
+    /// The minimum coverage over all points.
+    pub fn min_coverage(&self) -> u32 {
+        self.coverage.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Histogram of coverage counts: `hist[c]` = number of points covered
+    /// exactly `c` times (capped at `max_c`, excess lumped into the last
+    /// bucket).
+    pub fn coverage_histogram(&self, max_c: u32) -> Vec<usize> {
+        let mut hist = vec![0usize; max_c as usize + 1];
+        for &c in &self.coverage {
+            hist[(c.min(max_c)) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Positions of all active sensors (paired with ids, ascending).
+    pub fn active_sensors(&self) -> Vec<(SensorId, Point)> {
+        self.sensors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active)
+            .map(|(i, s)| (i, s.pos))
+            .collect()
+    }
+
+    /// Recomputes every point's coverage from scratch (O(n·deg)) and
+    /// asserts it matches the incremental counters. Test/debug aid.
+    pub fn verify_consistency(&self) {
+        for (pid, &p) in self.points.iter().enumerate() {
+            let truth = self
+                .sensors
+                .iter()
+                .filter(|s| s.active && p.dist_sq(s.pos) <= s.rs * s.rs)
+                .count() as u32;
+            assert_eq!(
+                truth, self.coverage[pid],
+                "coverage drift at point {pid} ({p})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Aabb {
+        Aabb::square(100.0)
+    }
+
+    fn grid_points(n_side: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point::new(
+                    100.0 * (i as f64 + 0.5) / n_side as f64,
+                    100.0 * (j as f64 + 0.5) / n_side as f64,
+                ));
+            }
+        }
+        pts
+    }
+
+    fn map() -> CoverageMap {
+        CoverageMap::new(grid_points(20), &field(), &DeploymentConfig::default())
+    }
+
+    #[test]
+    fn fresh_map_is_uncovered() {
+        let m = map();
+        assert_eq!(m.n_points(), 400);
+        assert_eq!(m.fraction_k_covered(1), 0.0);
+        assert_eq!(m.min_coverage(), 0);
+        assert_eq!(m.count_below(1), 400);
+    }
+
+    #[test]
+    fn add_sensor_covers_its_disk() {
+        let mut m = map();
+        m.add_sensor(Point::new(50.0, 50.0), 10.0);
+        let covered: Vec<usize> = (0..m.n_points()).filter(|&i| m.coverage(i) > 0).collect();
+        assert!(!covered.is_empty());
+        for &pid in &covered {
+            assert!(m.points()[pid].dist(Point::new(50.0, 50.0)) <= 10.0);
+        }
+        m.verify_consistency();
+    }
+
+    #[test]
+    fn overlapping_sensors_stack_coverage() {
+        let mut m = map();
+        m.add_sensor(Point::new(50.0, 50.0), 10.0);
+        m.add_sensor(Point::new(50.0, 50.0), 10.0);
+        m.add_sensor(Point::new(50.0, 50.0), 10.0);
+        let pid = m.points_within(Point::new(50.0, 50.0), 4.0)[0];
+        assert_eq!(m.coverage(pid), 3);
+        m.verify_consistency();
+    }
+
+    #[test]
+    fn deactivate_and_reactivate_roundtrip() {
+        let mut m = map();
+        let s = m.add_sensor(Point::new(30.0, 30.0), 8.0);
+        let before: Vec<u32> = (0..m.n_points()).map(|i| m.coverage(i)).collect();
+        assert!(m.deactivate_sensor(s));
+        assert!(!m.deactivate_sensor(s), "idempotent");
+        assert_eq!(m.fraction_k_covered(1), 0.0);
+        assert_eq!(m.n_active_sensors(), 0);
+        assert!(m.reactivate_sensor(s));
+        assert!(!m.reactivate_sensor(s), "idempotent");
+        let after: Vec<u32> = (0..m.n_points()).map(|i| m.coverage(i)).collect();
+        assert_eq!(before, after);
+        m.verify_consistency();
+    }
+
+    #[test]
+    fn sensors_covering_honors_individual_radii() {
+        let mut m = map();
+        let near = m.add_sensor(Point::new(50.0, 50.0), 3.0);
+        let far = m.add_sensor(Point::new(58.0, 50.0), 12.0);
+        let q = Point::new(52.0, 50.0);
+        // near covers q (d=2 <= 3); far covers q (d=6 <= 12).
+        assert_eq!(m.sensors_covering(q), vec![near, far]);
+        let q2 = Point::new(54.0, 50.0); // d(near)=4 > 3, d(far)=4 <= 12
+        assert_eq!(m.sensors_covering(q2), vec![far]);
+    }
+
+    #[test]
+    fn fraction_and_histogram_agree() {
+        let mut m = map();
+        m.add_sensor(Point::new(25.0, 25.0), 20.0);
+        m.add_sensor(Point::new(25.0, 25.0), 20.0);
+        let hist = m.coverage_histogram(3);
+        assert_eq!(hist.iter().sum::<usize>(), m.n_points());
+        let at_least_2 = hist[2] + hist[3];
+        assert!((m.fraction_k_covered(2) - at_least_2 as f64 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_ids_match_count_below() {
+        let mut m = map();
+        m.add_sensor(Point::new(50.0, 50.0), 30.0);
+        assert_eq!(m.uncovered_ids(1).len(), m.count_below(1));
+        assert_eq!(m.uncovered_ids(2).len(), m.count_below(2));
+        assert!(m.count_below(2) >= m.count_below(1));
+    }
+
+    #[test]
+    fn full_coverage_reachable() {
+        let mut m = map();
+        // Blanket the field with a coarse sensor lattice.
+        for i in 0..10 {
+            for j in 0..10 {
+                m.add_sensor(
+                    Point::new(5.0 + 10.0 * i as f64, 5.0 + 10.0 * j as f64),
+                    8.0,
+                );
+            }
+        }
+        assert_eq!(m.fraction_k_covered(1), 1.0);
+        assert!(m.min_coverage() >= 1);
+        m.verify_consistency();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the field")]
+    fn point_outside_field_panics() {
+        let _ = CoverageMap::new(
+            vec![Point::new(500.0, 0.0)],
+            &field(),
+            &DeploymentConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_point_set_panics() {
+        let _ = CoverageMap::new(Vec::new(), &field(), &DeploymentConfig::default());
+    }
+
+    #[test]
+    fn active_sensor_listing() {
+        let mut m = map();
+        let a = m.add_sensor(Point::new(10.0, 10.0), 4.0);
+        let b = m.add_sensor(Point::new(20.0, 20.0), 4.0);
+        m.deactivate_sensor(a);
+        let act = m.active_sensors();
+        assert_eq!(act.len(), 1);
+        assert_eq!(act[0].0, b);
+        assert_eq!(m.n_sensors(), 2);
+        assert_eq!(m.n_active_sensors(), 1);
+    }
+
+    #[test]
+    fn sensor_accessors() {
+        let mut m = map();
+        let s = m.add_sensor(Point::new(12.0, 34.0), 5.0);
+        assert_eq!(m.sensor_pos(s), Point::new(12.0, 34.0));
+        assert_eq!(m.sensor_rs(s), 5.0);
+        assert!(m.sensor_active(s));
+    }
+}

@@ -1,0 +1,198 @@
+//! Deployment diagnostics: the quality metrics a downstream user wants
+//! after running any placer — how efficient, how redundant, how even.
+
+use crate::bounds::coverage_lower_bound;
+use crate::coverage::CoverageMap;
+use crate::redundancy::redundancy_stats;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a deployment on a coverage map.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentDiagnostics {
+    /// Active sensors in the deployment.
+    pub sensors: usize,
+    /// The coverage requirement analyzed against.
+    pub k: u32,
+    /// Fraction of points covered at least `k` times.
+    pub fraction_k_covered: f64,
+    /// Minimum per-point coverage.
+    pub min_coverage: u32,
+    /// Mean per-point coverage.
+    pub mean_coverage: f64,
+    /// Maximum per-point coverage.
+    pub max_coverage: u32,
+    /// Redundant sensors (removable without losing k-coverage).
+    pub redundant: usize,
+    /// `sensors / lower_bound` — 1.0 is information-theoretically optimal.
+    pub efficiency_ratio: f64,
+    /// Mean distance from each sensor to its nearest other sensor
+    /// (clustering indicator; 0 when fewer than two sensors).
+    pub mean_nearest_sensor_dist: f64,
+    /// Coefficient of variation of the sensors' Voronoi cell areas —
+    /// a load-balance measure (0 = perfectly even responsibility
+    /// regions; exact global Voronoi via Delaunay duality).
+    pub cell_area_cv: f64,
+}
+
+impl DeploymentDiagnostics {
+    /// Analyzes the current state of `map` against requirement `k`.
+    ///
+    /// `rs_hint` is the sensing radius used for the lower bound (pass the
+    /// deployment's configured `rs`; individual sensors may differ).
+    pub fn analyze(map: &mut CoverageMap, k: u32, rs_hint: f64) -> Self {
+        let n = map.n_points() as f64;
+        let mut min_c = u32::MAX;
+        let mut max_c = 0u32;
+        let mut sum_c = 0u64;
+        for pid in 0..map.n_points() {
+            let c = map.coverage(pid);
+            min_c = min_c.min(c);
+            max_c = max_c.max(c);
+            sum_c += c as u64;
+        }
+        let (redundant, _) = redundancy_stats(map, k);
+        let sensors = map.n_active_sensors();
+        let lb = coverage_lower_bound(map.field(), rs_hint, k).max(1);
+        let positions: Vec<_> = map.active_sensors();
+        let mut nn_sum = 0.0;
+        let mut nn_count = 0usize;
+        for &(sid, pos) in &positions {
+            let mut best = f64::INFINITY;
+            // Expanding search via the map's sensor index.
+            for r in [rs_hint * 2.0, rs_hint * 8.0, f64::MAX] {
+                let candidates = if r.is_finite() {
+                    map.sensors_within(pos, r)
+                } else {
+                    positions.iter().map(|&(s, _)| s).collect()
+                };
+                for other in candidates {
+                    if other != sid {
+                        best = best.min(pos.dist(map.sensor_pos(other)));
+                    }
+                }
+                if best.is_finite() {
+                    break;
+                }
+            }
+            if best.is_finite() {
+                nn_sum += best;
+                nn_count += 1;
+            }
+        }
+        let sensor_points: Vec<decor_geom::Point> = positions.iter().map(|&(_, p)| p).collect();
+        DeploymentDiagnostics {
+            sensors,
+            k,
+            fraction_k_covered: map.fraction_k_covered(k),
+            min_coverage: if map.n_points() == 0 { 0 } else { min_c },
+            mean_coverage: sum_c as f64 / n,
+            max_coverage: max_c,
+            redundant,
+            efficiency_ratio: sensors as f64 / lb as f64,
+            mean_nearest_sensor_dist: if nn_count == 0 {
+                0.0
+            } else {
+                nn_sum / nn_count as f64
+            },
+            cell_area_cv: decor_geom::cell_area_cv(&sensor_points, map.field()),
+        }
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sensors, {:.1}% {}-covered (min {}, mean {:.2}, max {}), \
+             {} redundant, {:.2}x lower bound, nn-dist {:.2}, cell-cv {:.2}",
+            self.sensors,
+            self.fraction_k_covered * 100.0,
+            self.k,
+            self.min_coverage,
+            self.mean_coverage,
+            self.max_coverage,
+            self.redundant,
+            self.efficiency_ratio,
+            self.mean_nearest_sensor_dist,
+            self.cell_area_cv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedGreedy;
+    use crate::config::DeploymentConfig;
+    use crate::random_place::RandomPlacement;
+    use crate::Placer;
+    use decor_geom::{Aabb, Point};
+    use decor_lds::halton_points;
+
+    fn covered(k: u32, placer: &dyn Placer, seed: u64) -> (CoverageMap, DeploymentConfig) {
+        let _ = seed;
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(k);
+        let mut map = CoverageMap::new(halton_points(600, &field), &field, &cfg);
+        placer.place(&mut map, &cfg);
+        (map, cfg)
+    }
+
+    #[test]
+    fn analyzes_a_covered_deployment() {
+        let (mut map, cfg) = covered(2, &CentralizedGreedy, 0);
+        let d = DeploymentDiagnostics::analyze(&mut map, cfg.k, cfg.rs);
+        assert_eq!(d.fraction_k_covered, 1.0);
+        assert!(d.min_coverage >= 2);
+        assert!(d.mean_coverage >= d.min_coverage as f64);
+        assert!(d.max_coverage >= d.mean_coverage as u32);
+        assert!(d.efficiency_ratio >= 1.0, "cannot beat the lower bound");
+        assert!(d.efficiency_ratio < 3.0, "greedy is not that bad");
+        assert!(d.mean_nearest_sensor_dist > 0.0);
+        assert!(!d.summary().is_empty());
+    }
+
+    #[test]
+    fn random_shows_worse_diagnostics_than_greedy() {
+        let (mut m1, cfg) = covered(1, &CentralizedGreedy, 1);
+        let g = DeploymentDiagnostics::analyze(&mut m1, cfg.k, cfg.rs);
+        let (mut m2, _) = covered(1, &RandomPlacement { seed: 7 }, 2);
+        let r = DeploymentDiagnostics::analyze(&mut m2, cfg.k, cfg.rs);
+        assert!(r.sensors > g.sensors);
+        assert!(r.redundant > g.redundant);
+        assert!(r.efficiency_ratio > g.efficiency_ratio);
+        assert!(
+            r.mean_nearest_sensor_dist < g.mean_nearest_sensor_dist,
+            "random clusters sensors: {} vs {}",
+            r.mean_nearest_sensor_dist,
+            g.mean_nearest_sensor_dist
+        );
+        assert!(
+            r.cell_area_cv > g.cell_area_cv,
+            "random responsibility regions are less even: {} vs {}",
+            r.cell_area_cv,
+            g.cell_area_cv
+        );
+    }
+
+    #[test]
+    fn empty_deployment_diagnostics() {
+        let field = Aabb::square(50.0);
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = CoverageMap::new(halton_points(100, &field), &field, &cfg);
+        let d = DeploymentDiagnostics::analyze(&mut map, 1, cfg.rs);
+        assert_eq!(d.sensors, 0);
+        assert_eq!(d.fraction_k_covered, 0.0);
+        assert_eq!(d.mean_nearest_sensor_dist, 0.0);
+        assert_eq!(d.redundant, 0);
+    }
+
+    #[test]
+    fn single_sensor_has_no_neighbor_distance() {
+        let field = Aabb::square(50.0);
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = CoverageMap::new(halton_points(100, &field), &field, &cfg);
+        map.add_sensor(Point::new(25.0, 25.0), 4.0);
+        let d = DeploymentDiagnostics::analyze(&mut map, 1, cfg.rs);
+        assert_eq!(d.sensors, 1);
+        assert_eq!(d.mean_nearest_sensor_dist, 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! DECOR — DEpendable COverage Restoration (Drougas & Kalogeraki, IPDPS
+//! 2007) — plus the baselines its evaluation compares against.
+//!
+//! The problem: given a field `A`, a coverage requirement `k`, and a
+//! (possibly empty, possibly damaged) initial deployment of sensors with
+//! sensing radius `rs`, place new sensors so that *every* point of `A` is
+//! covered by at least `k` sensors, using as few new sensors as possible.
+//!
+//! DECOR's two moves:
+//! 1. approximate `A` by a low-discrepancy point set (see `decor-lds`) and
+//!    track per-point coverage counts ([`CoverageMap`]);
+//! 2. greedily place sensors at the approximation point of maximum
+//!    *benefit* `b(c) = Σ_{p : d(p,c) ≤ rs} max(k − k_p, 0)`
+//!    ([`benefit`]), either globally ([`centralized`]) or cell-locally in
+//!    a distributed fashion ([`grid_scheme`], [`voronoi_scheme`]).
+//!
+//! The crate also provides the [`redundancy`] metric of Fig. 9, the
+//! reliability math of §2.1 ([`reliability`]), the failure-restoration
+//! pipeline of §4.2 ([`restore`]) and a crossbeam-based parallel replica
+//! runner ([`parallel`]) used to average experiments over seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_grid;
+pub mod benefit;
+pub mod bounds;
+pub mod centralized;
+pub mod config;
+pub mod coverage;
+pub mod diagnostics;
+pub mod grid_scheme;
+pub mod metrics;
+pub mod parallel;
+pub mod random_place;
+pub mod redundancy;
+pub mod reliability;
+pub mod restore;
+pub mod voronoi_scheme;
+
+pub use async_grid::AsyncGridDecor;
+pub use benefit::{benefit_at, BenefitTable};
+pub use centralized::CentralizedGreedy;
+pub use config::{DeploymentConfig, SchemeKind};
+pub use coverage::{CoverageMap, SensorId};
+pub use diagnostics::DeploymentDiagnostics;
+pub use grid_scheme::GridDecor;
+pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
+pub use random_place::RandomPlacement;
+pub use redundancy::redundant_mask;
+pub use voronoi_scheme::VoronoiDecor;
+
+/// A placement algorithm: consumes a coverage map (which already contains
+/// the surviving initial sensors) and deploys new sensors until the map is
+/// `k`-covered or the algorithm gives up.
+pub trait Placer {
+    /// Human-readable name used by the experiment harness ("Centralized",
+    /// "Grid (small cell)", ...).
+    fn name(&self) -> String;
+
+    /// Runs the algorithm, mutating `map` by adding sensors. Returns what
+    /// was placed plus cost accounting.
+    fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome;
+}

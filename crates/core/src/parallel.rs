@@ -1,0 +1,198 @@
+//! Parallel execution helpers (crossbeam scoped threads).
+//!
+//! The paper averages every figure over 5 random fields. Replicas are
+//! embarrassingly parallel, so [`run_replicas`] fans them out over scoped
+//! threads — one per replica up to the hardware parallelism — with
+//! deterministic per-replica seeds derived by splitmix64, guaranteeing
+//! sequential and parallel execution produce identical results.
+//!
+//! [`par_best_candidate`] additionally parallelizes the inner benefit
+//! argmax scan; it exists for the ablation benches (the incremental
+//! [`crate::BenefitTable`] usually beats brute-force parallelism, which is
+//! the point the ablation makes).
+
+use crate::benefit::benefit_at;
+use crate::coverage::CoverageMap;
+use decor_lds::vdc::splitmix64;
+use parking_lot::Mutex;
+
+/// Derives the seed for replica `i` from a base seed.
+///
+/// Mixing (rather than `base + i`) keeps replica RNG streams statistically
+/// independent even for adjacent indices.
+pub fn replica_seed(base: u64, i: usize) -> u64 {
+    splitmix64(base ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Runs `f(replica_index, replica_seed)` for `n` replicas in parallel and
+/// returns the results in replica order.
+///
+/// `f` must be deterministic in its arguments; the output is then
+/// identical to the sequential loop regardless of thread scheduling.
+pub fn run_replicas<T, F>(n: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads == 1 {
+        return (0..n).map(|i| f(i, replica_seed(base_seed, i))).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i, replica_seed(base_seed, i));
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("replica worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every replica filled"))
+        .collect()
+}
+
+/// Parallel argmax of the benefit function over candidate point ids.
+///
+/// Returns `(point_id, benefit)` of the best candidate with positive
+/// benefit (ties to the lowest id — same contract as
+/// [`crate::BenefitTable::best`]), or `None` when all benefits are zero.
+pub fn par_best_candidate(
+    map: &CoverageMap,
+    cands: &[usize],
+    rs: f64,
+    k: u32,
+) -> Option<(usize, u64)> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(cands.len().max(1));
+    if threads <= 1 || cands.len() < 256 {
+        return best_in_slice(map, cands, rs, k);
+    }
+    let chunk = cands.len().div_ceil(threads);
+    let best = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in cands.chunks(chunk) {
+            handles.push(scope.spawn(move |_| best_in_slice(map, part, rs, k)));
+        }
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("benefit scan panicked"))
+            .min_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
+    })
+    .expect("scope failed");
+    best
+}
+
+fn best_in_slice(map: &CoverageMap, cands: &[usize], rs: f64, k: u32) -> Option<(usize, u64)> {
+    let mut best: Option<(usize, u64)> = None;
+    for &pid in cands {
+        let b = benefit_at(map, map.points()[pid], rs, k);
+        if b > 0 {
+            match best {
+                Some((bp, bb)) if bb > b || (bb == b && bp < pid) => {}
+                _ => best = Some((pid, b)),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeploymentConfig;
+    use decor_geom::Aabb;
+    use decor_lds::halton_points;
+
+    #[test]
+    fn replica_seeds_are_distinct_and_stable() {
+        let s: Vec<u64> = (0..16).map(|i| replica_seed(42, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+        assert_eq!(replica_seed(42, 3), s[3]);
+    }
+
+    #[test]
+    fn run_replicas_matches_sequential() {
+        let par = run_replicas(8, 7, |i, seed| (i, seed, (i as u64).wrapping_mul(seed)));
+        let seq: Vec<_> = (0..8)
+            .map(|i| {
+                let seed = replica_seed(7, i);
+                (i, seed, (i as u64).wrapping_mul(seed))
+            })
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn run_replicas_zero_is_empty() {
+        let v: Vec<u32> = run_replicas(0, 1, |_, _| 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn run_replicas_heavier_than_threads() {
+        // More replicas than cores exercises the work-stealing loop.
+        let v = run_replicas(64, 3, |i, _| i * i);
+        assert_eq!(v.len(), 64);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn par_best_matches_sequential_table() {
+        use crate::benefit::BenefitTable;
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(2);
+        let mut map = CoverageMap::new(halton_points(600, &field), &field, &cfg);
+        // A few sensors to create variation.
+        for i in 0..10 {
+            map.add_sensor(decor_geom::Point::new(10.0 * i as f64 + 5.0, 40.0), cfg.rs);
+        }
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+        let (slot, pid, _, b) = table.best().unwrap();
+        assert_eq!(slot, pid);
+        let par = par_best_candidate(&map, &cands, cfg.rs, cfg.k).unwrap();
+        assert_eq!(par, (pid, b));
+    }
+
+    #[test]
+    fn par_best_none_when_covered() {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = CoverageMap::new(halton_points(300, &field), &field, &cfg);
+        map.add_sensor(decor_geom::Point::new(50.0, 50.0), 200.0);
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        assert!(par_best_candidate(&map, &cands, cfg.rs, cfg.k).is_none());
+    }
+
+    #[test]
+    fn small_candidate_sets_use_sequential_path() {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(1);
+        let map = CoverageMap::new(halton_points(100, &field), &field, &cfg);
+        let cands = vec![5usize, 10, 20];
+        let best = par_best_candidate(&map, &cands, cfg.rs, cfg.k).unwrap();
+        assert!(cands.contains(&best.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Redundant-node identification (the metric of Fig. 9).
+//!
+//! "A node is considered to be redundant if it does not contribute to the
+//! coverage of the area. By eliminating this node, we would still achieve
+//! k-coverage. Redundant nodes are identified at the end of the algorithm
+//! execution."
+//!
+//! The scan is sequential and order-dependent (as any such elimination
+//! must be — two mutually redundant sensors cannot both be removed): a
+//! sensor is removed if every approximation point it covers stays at
+//! coverage ≥ `k` without it, then the scan proceeds against the reduced
+//! deployment. We scan newest-first, matching the intuition that the most
+//! recently placed sensors are the marginal ones.
+
+use crate::coverage::CoverageMap;
+use crate::SensorId;
+
+/// Marks redundant sensors. Returns a mask over sensor ids (`true` =
+/// redundant) of length `map.n_sensors()`; inactive sensors are never
+/// marked. The map is left exactly as it was found (removals are rolled
+/// back).
+///
+/// `k` is the coverage requirement the deployment must keep satisfying.
+pub fn redundant_mask(map: &mut CoverageMap, k: u32) -> Vec<bool> {
+    let n = map.n_sensors();
+    let mut redundant = vec![false; n];
+    let mut removed: Vec<SensorId> = Vec::new();
+    // Newest-first scan.
+    for sid in (0..n).rev() {
+        if !map.sensor_active(sid) {
+            continue;
+        }
+        let pos = map.sensor_pos(sid);
+        let rs = map.sensor_rs(sid);
+        let mut needed = false;
+        map.for_each_point_within(pos, rs, |pid, _| {
+            // Removing this sensor drops the point by one; it must stay >= k.
+            if map.coverage(pid) <= k {
+                needed = true;
+            }
+        });
+        if !needed {
+            map.deactivate_sensor(sid);
+            removed.push(sid);
+            redundant[sid] = true;
+        }
+    }
+    // Roll back.
+    for sid in removed {
+        map.reactivate_sensor(sid);
+    }
+    redundant
+}
+
+/// Convenience: the number and fraction of redundant sensors among the
+/// *active* ones. Returns `(count, fraction)`; fraction is 0 for an empty
+/// deployment.
+pub fn redundancy_stats(map: &mut CoverageMap, k: u32) -> (usize, f64) {
+    let mask = redundant_mask(map, k);
+    let count = mask.iter().filter(|&&r| r).count();
+    let active = map.n_active_sensors();
+    let frac = if active == 0 {
+        0.0
+    } else {
+        count as f64 / active as f64
+    };
+    (count, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedGreedy;
+    use crate::config::DeploymentConfig;
+    use crate::random_place::RandomPlacement;
+    use crate::Placer;
+    use decor_geom::{Aabb, Point};
+    use decor_lds::halton_points;
+
+    fn fresh_map(n_pts: usize, cfg: &DeploymentConfig) -> CoverageMap {
+        let field = Aabb::square(100.0);
+        CoverageMap::new(halton_points(n_pts, &field), &field, cfg)
+    }
+
+    #[test]
+    fn lone_necessary_sensor_is_not_redundant() {
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = fresh_map(200, &cfg);
+        map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        let mask = redundant_mask(&mut map, 1);
+        assert_eq!(mask, vec![false]);
+    }
+
+    #[test]
+    fn duplicate_sensor_is_redundant() {
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = fresh_map(200, &cfg);
+        map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        let mask = redundant_mask(&mut map, 1);
+        // Exactly one of the twins is redundant (newest-first: id 1).
+        assert_eq!(mask, vec![false, true]);
+    }
+
+    #[test]
+    fn sensor_covering_no_points_is_redundant() {
+        let cfg = DeploymentConfig::with_k(1);
+        let field = Aabb::square(100.0);
+        // Single point far from the sensor.
+        let mut map = CoverageMap::new(vec![Point::new(10.0, 10.0)], &field, &cfg);
+        map.add_sensor(Point::new(90.0, 90.0), 4.0);
+        let mask = redundant_mask(&mut map, 1);
+        assert_eq!(mask, vec![true]);
+    }
+
+    #[test]
+    fn mask_leaves_map_unchanged() {
+        let cfg = DeploymentConfig::with_k(2);
+        let mut map = fresh_map(300, &cfg);
+        for i in 0..30 {
+            map.add_sensor(Point::new(3.0 * i as f64 + 2.0, 50.0), cfg.rs);
+        }
+        let before: Vec<u32> = (0..map.n_points()).map(|i| map.coverage(i)).collect();
+        let active_before = map.n_active_sensors();
+        let _ = redundant_mask(&mut map, 2);
+        let after: Vec<u32> = (0..map.n_points()).map(|i| map.coverage(i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(map.n_active_sensors(), active_before);
+        map.verify_consistency();
+    }
+
+    #[test]
+    fn removing_all_redundant_keeps_k_coverage() {
+        let cfg = DeploymentConfig::with_k(2);
+        let mut map = fresh_map(500, &cfg);
+        RandomPlacement { seed: 3 }.place(&mut map, &cfg);
+        assert_eq!(map.count_below(2), 0);
+        let mask = redundant_mask(&mut map, 2);
+        for (sid, &r) in mask.iter().enumerate() {
+            if r {
+                map.deactivate_sensor(sid);
+            }
+        }
+        assert_eq!(
+            map.count_below(2),
+            0,
+            "k-coverage must survive removing every redundant sensor"
+        );
+    }
+
+    #[test]
+    fn random_has_far_more_redundancy_than_greedy() {
+        // Fig. 9's headline: random is catastrophically wasteful,
+        // centralized greedy nearly waste-free.
+        let cfg = DeploymentConfig::with_k(2);
+        let mut m1 = fresh_map(600, &cfg);
+        CentralizedGreedy.place(&mut m1, &cfg);
+        let (_, greedy_frac) = redundancy_stats(&mut m1, 2);
+        let mut m2 = fresh_map(600, &cfg);
+        RandomPlacement { seed: 5 }.place(&mut m2, &cfg);
+        let (_, random_frac) = redundancy_stats(&mut m2, 2);
+        assert!(
+            random_frac > 3.0 * greedy_frac.max(0.01),
+            "random {random_frac} vs greedy {greedy_frac}"
+        );
+        assert!(
+            greedy_frac < 0.1,
+            "greedy should waste <10%, got {greedy_frac}"
+        );
+    }
+
+    #[test]
+    fn inactive_sensors_are_ignored() {
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = fresh_map(200, &cfg);
+        let a = map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        let b = map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        map.deactivate_sensor(a);
+        let mask = redundant_mask(&mut map, 1);
+        assert!(!mask[a], "inactive sensor is not counted as redundant");
+        assert!(!mask[b], "b is now the sole coverer");
+    }
+
+    #[test]
+    fn stats_fraction_is_over_active_sensors() {
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = fresh_map(200, &cfg);
+        map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        map.add_sensor(Point::new(50.0, 50.0), 4.0);
+        let (count, frac) = redundancy_stats(&mut map, 1);
+        assert_eq!(count, 1);
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_deployment_has_zero_stats() {
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = fresh_map(100, &cfg);
+        let (count, frac) = redundancy_stats(&mut map, 1);
+        assert_eq!(count, 0);
+        assert_eq!(frac, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Reliability arithmetic (§2.1).
+//!
+//! With i.i.d. node failure probability `q`, a point covered by `k`
+//! sensors stays covered with probability `1 − q^k`. DECOR's coverage
+//! requirement is derived from a user-facing reliability target:
+//! `k = ⌈ log(1 − target) / log(q) ⌉`.
+
+/// Probability that a `k`-covered point remains covered when every sensor
+/// fails independently with probability `q`.
+///
+/// Panics unless `q ∈ [0, 1]`.
+pub fn coverage_reliability(k: u32, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    1.0 - q.powi(k as i32)
+}
+
+/// The smallest `k` achieving `coverage_reliability(k, q) >= target`.
+///
+/// ```
+/// use decor_core::reliability::required_k;
+///
+/// // 20% node failure rate, 99.9% coverage guarantee => 5 sensors/point.
+/// assert_eq!(required_k(0.999, 0.2), Some(5));
+/// // Certainty is unreachable on an unreliable medium.
+/// assert_eq!(required_k(1.0, 0.2), None);
+/// ```
+///
+/// Returns `None` when the target is unreachable (`q = 1` with
+/// `target > 0`). `target` must be in `[0, 1)` — a target of exactly 1 is
+/// only reachable with `q = 0`, where `k = 1` suffices and is returned.
+pub fn required_k(target: f64, q: f64) -> Option<u32> {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&target),
+        "target must be a probability"
+    );
+    if q == 0.0 {
+        return Some(1);
+    }
+    if target == 0.0 {
+        return Some(1);
+    }
+    if q == 1.0 {
+        return None;
+    }
+    if target == 1.0 {
+        return None; // q in (0,1): no finite k reaches certainty
+    }
+    // 1 - q^k >= target  <=>  q^k <= 1 - target  <=>  k >= ln(1-t)/ln(q).
+    // The tiny slack absorbs float noise at exact integer boundaries
+    // (e.g. target 0.9, q 0.1 must yield k = 1, not 2).
+    let k = ((1.0 - target).ln() / q.ln() - 1e-9).ceil();
+    Some((k as u32).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_grows_with_k() {
+        let q = 0.3;
+        let mut prev = 0.0;
+        for k in 1..=6 {
+            let r = coverage_reliability(k, q);
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((coverage_reliability(1, 0.1) - 0.9).abs() < 1e-12);
+        assert!((coverage_reliability(2, 0.1) - 0.99).abs() < 1e-12);
+        assert!((coverage_reliability(3, 0.5) - 0.875).abs() < 1e-12);
+        assert_eq!(coverage_reliability(4, 0.0), 1.0);
+        assert_eq!(coverage_reliability(4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn required_k_round_trips_reliability() {
+        for &q in &[0.05, 0.1, 0.3, 0.5, 0.9] {
+            for &target in &[0.5, 0.9, 0.99, 0.999] {
+                let k = required_k(target, q).unwrap();
+                assert!(
+                    coverage_reliability(k, q) >= target - 1e-9,
+                    "k={k} too small for q={q}, target={target}"
+                );
+                if k > 1 {
+                    assert!(
+                        coverage_reliability(k - 1, q) < target,
+                        "k={k} not minimal for q={q}, target={target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_example() {
+        // q = 10% failure, 99.99% target => 4 sensors.
+        assert_eq!(required_k(0.9999, 0.1), Some(4));
+        // q = 50%, 90% target => 4 sensors (1 - 0.5^4 = 0.9375).
+        assert_eq!(required_k(0.9, 0.5), Some(4));
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(required_k(0.9, 0.0), Some(1));
+        assert_eq!(required_k(0.0, 0.7), Some(1));
+        assert_eq!(required_k(0.9, 1.0), None);
+        assert_eq!(required_k(1.0, 0.5), None);
+        assert_eq!(required_k(1.0, 0.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be a probability")]
+    fn invalid_q_panics() {
+        let _ = coverage_reliability(2, 1.5);
+    }
+}

@@ -1,0 +1,218 @@
+//! The full failure-and-restoration pipeline (§4.2, Figs. 11–14).
+//!
+//! A deployed network suffers failures (random or area), surviving
+//! neighbors detect them through the heartbeat protocol, and a placement
+//! algorithm restores `k`-coverage. [`fail_and_restore`] wires the pieces
+//! together: `decor-net` failure injection and detection on one side,
+//! `decor-core` placement on the other, with the coverage map as the
+//! shared ground truth.
+
+use crate::config::DeploymentConfig;
+use crate::coverage::CoverageMap;
+use crate::metrics::PlacementOutcome;
+use crate::Placer;
+use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network, Time};
+
+/// Outcome of one failure-and-restoration episode.
+#[derive(Clone, Debug)]
+pub struct RestorationReport {
+    /// Sensors killed by the failure plan.
+    pub victims: usize,
+    /// Victims detected by the heartbeat protocol (equals `victims` when
+    /// detection is skipped — failures are then assumed known).
+    pub detected: usize,
+    /// Worst-case detection latency in ticks (None when detection was
+    /// skipped or nothing was detected).
+    pub detection_latency: Option<Time>,
+    /// Fraction of points still `k`-covered right after the failure
+    /// (the y-axis of Figs. 11 and 13).
+    pub coverage_after_failure: f64,
+    /// New sensors the restoration placed (the y-axis of Fig. 14).
+    pub extra_nodes: usize,
+    /// Fraction of points `k`-covered after restoration.
+    pub coverage_after_restore: f64,
+    /// The raw placement outcome of the restoration run.
+    pub outcome: PlacementOutcome,
+}
+
+/// Fails sensors per `plan`, optionally runs heartbeat detection, then
+/// restores `k`-coverage with `placer`.
+///
+/// When `heartbeat` is `Some`, a detection simulation runs first: the
+/// failure fires at tick `4 × period` and detection gets `40` periods to
+/// conclude; its latency lands in the report. Restoration proceeds for all
+/// victims regardless (undetected isolated victims are eventually noticed
+/// as coverage holes — the paper's uncovered-region estimation).
+pub fn fail_and_restore(
+    map: &mut CoverageMap,
+    placer: &dyn Placer,
+    cfg: &DeploymentConfig,
+    plan: &FailurePlan,
+    heartbeat: Option<HeartbeatConfig>,
+) -> RestorationReport {
+    cfg.validate();
+    // Mirror the active sensors into a network for failure selection and
+    // detection. Network node i corresponds to sensors[i] below.
+    let sensors = map.active_sensors();
+    let mut net = Network::new(*map.field());
+    for &(_, pos) in &sensors {
+        net.add_node(pos, cfg.rs, cfg.rc);
+    }
+    let victims_net = plan.victims(&net);
+
+    let (detected, latency) = match heartbeat {
+        Some(hb) => {
+            let sim = HeartbeatSim::new(hb);
+            let fail_at = 4 * hb.period;
+            let horizon = fail_at + 40 * hb.period;
+            let report = sim.run(&mut net, &victims_net, fail_at, horizon);
+            (report.first_detection.len(), report.max_latency(fail_at))
+        }
+        None => {
+            for &v in &victims_net {
+                net.fail_node(v);
+            }
+            (victims_net.len(), None)
+        }
+    };
+
+    // Kill the same sensors in the coverage map.
+    for &v in &victims_net {
+        let (sid, _) = sensors[v];
+        map.deactivate_sensor(sid);
+    }
+    let coverage_after_failure = map.fraction_k_covered(cfg.k);
+
+    let outcome = placer.place(map, cfg);
+    RestorationReport {
+        victims: victims_net.len(),
+        detected,
+        detection_latency: latency,
+        coverage_after_failure,
+        extra_nodes: outcome.placed.len(),
+        coverage_after_restore: map.fraction_k_covered(cfg.k),
+        outcome,
+    }
+}
+
+/// Fails an exact fraction of sensors and reports only the surviving
+/// coverage — the Fig. 11/12 measurement (no restoration). Leaves the map
+/// failed; callers clone or rebuild.
+pub fn coverage_after_failure(
+    map: &mut CoverageMap,
+    cfg: &DeploymentConfig,
+    plan: &FailurePlan,
+    k_measure: u32,
+) -> f64 {
+    let sensors = map.active_sensors();
+    let mut net = Network::new(*map.field());
+    for &(_, pos) in &sensors {
+        net.add_node(pos, cfg.rs, cfg.rc);
+    }
+    let victims = plan.victims(&net);
+    for &v in &victims {
+        map.deactivate_sensor(sensors[v].0);
+    }
+    map.fraction_k_covered(k_measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedGreedy;
+    use decor_geom::{Aabb, Disk, Point};
+    use decor_lds::halton_points;
+
+    fn covered_map(k: u32, n_pts: usize) -> (CoverageMap, DeploymentConfig) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(k);
+        let mut map = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+        CentralizedGreedy.place(&mut map, &cfg);
+        assert_eq!(map.count_below(k), 0);
+        (map, cfg)
+    }
+
+    #[test]
+    fn area_failure_then_restore_recovers_coverage() {
+        let (mut map, cfg) = covered_map(1, 600);
+        let plan = FailurePlan::Area {
+            disk: Disk::new(Point::new(50.0, 50.0), 24.0),
+        };
+        let report = fail_and_restore(&mut map, &CentralizedGreedy, &cfg, &plan, None);
+        assert!(report.victims > 0);
+        assert!(report.coverage_after_failure < 1.0);
+        assert!(report.extra_nodes > 0);
+        assert_eq!(report.coverage_after_restore, 1.0);
+        assert_eq!(map.count_below(1), 0);
+    }
+
+    #[test]
+    fn area_failure_drops_roughly_the_disc_share() {
+        let (mut map, cfg) = covered_map(1, 1000);
+        let plan = FailurePlan::Area {
+            disk: Disk::new(Point::new(50.0, 50.0), 24.0),
+        };
+        let cov = coverage_after_failure(&mut map, &cfg, &plan, 1);
+        // Disc is ~18% of the field; sensors just outside still cover the
+        // fringe, so the covered share stays within a band around 82%.
+        assert!((0.70..=0.95).contains(&cov), "coverage {cov}");
+    }
+
+    #[test]
+    fn random_fraction_failure_degrades_gracefully() {
+        let (mut map, cfg) = covered_map(3, 800);
+        let plan = FailurePlan::Fraction {
+            frac: 0.15,
+            seed: 2,
+        };
+        let cov3 = coverage_after_failure(&mut map, &cfg, &plan, 3);
+        assert!(cov3 < 1.0, "some 3-coverage must be lost");
+        // 1-coverage survives much better than 3-coverage.
+        let cov1 = map.fraction_k_covered(1);
+        assert!(cov1 > cov3);
+        assert!(cov1 > 0.95, "1-coverage should barely notice 15% failures");
+    }
+
+    #[test]
+    fn detection_reports_latency_and_counts() {
+        let (mut map, cfg) = covered_map(1, 400);
+        let plan = FailurePlan::Fraction { frac: 0.1, seed: 3 };
+        let hb = HeartbeatConfig {
+            period: 100,
+            timeout_periods: 3,
+            seed: 4,
+        };
+        let report = fail_and_restore(&mut map, &CentralizedGreedy, &cfg, &plan, Some(hb));
+        assert!(report.victims > 0);
+        assert!(report.detected > 0);
+        assert!(report.detected <= report.victims);
+        let lat = report.detection_latency.expect("something detected");
+        assert!((200..=1000).contains(&lat), "latency {lat}");
+        assert_eq!(report.coverage_after_restore, 1.0);
+    }
+
+    #[test]
+    fn no_failures_means_no_restoration() {
+        let (mut map, cfg) = covered_map(1, 300);
+        let plan = FailurePlan::Fraction { frac: 0.0, seed: 5 };
+        let report = fail_and_restore(&mut map, &CentralizedGreedy, &cfg, &plan, None);
+        assert_eq!(report.victims, 0);
+        assert_eq!(report.extra_nodes, 0);
+        assert_eq!(report.coverage_after_failure, 1.0);
+    }
+
+    #[test]
+    fn higher_k_tolerates_more_failures() {
+        // The Fig. 12 mechanism in miniature: a k=3 deployment keeps far
+        // more 1-coverage under 30% failures than a k=1 deployment.
+        let survive = |k: u32| {
+            let (mut map, cfg) = covered_map(k, 600);
+            let plan = FailurePlan::Fraction { frac: 0.3, seed: 6 };
+            coverage_after_failure(&mut map, &cfg, &plan, 1)
+        };
+        let k1 = survive(1);
+        let k3 = survive(3);
+        assert!(k3 > k1, "k=3 ({k3}) must beat k=1 ({k1})");
+        assert!(k3 > 0.9, "k=3 should keep >90% 1-coverage, got {k3}");
+    }
+}

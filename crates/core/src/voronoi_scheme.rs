@@ -1,0 +1,418 @@
+//! Voronoi-based DECOR (§3.1–3.3, Definition 1).
+//!
+//! Every sensor node is its own cell: it *owns* the approximation points
+//! within its communication radius `rc` that are at least as close to it
+//! as to any 1-hop neighbor it knows about. Each round, a node estimates
+//! the coverage of its owned points **from local knowledge only** — it can
+//! count just the sensors within `rc` of itself — and, if any owned point
+//! looks under-covered, places one new sensor at the owned point of
+//! maximum (locally-estimated) benefit. New sensors become nodes with
+//! cells of their own, which is how coverage creeps into large uncovered
+//! regions ("new cells are created by new nodes during the recovery
+//! process").
+//!
+//! The knowledge limit is the scheme's cost model: a sensor farther than
+//! `rc` from the node may still cover one of its points (it only needs to
+//! be within `rs` of the *point*), and the node, blind to it, will place a
+//! redundant sensor. Growing `rc` shrinks that blind annulus — exactly the
+//! Fig. 9 effect where the big-`rc` variant places far fewer redundant
+//! nodes. Simultaneous decisions by mutually-invisible nodes add border
+//! redundancy on top.
+//!
+//! Messages (Fig. 10): upon placing, a node unicasts a placement notice to
+//! each of its 1-hop neighbors, so per-placement traffic grows with the
+//! neighborhood size, i.e. with `rc` — the paper's "analogous to the
+//! communication radius" observation.
+
+use crate::config::DeploymentConfig;
+use crate::coverage::CoverageMap;
+use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
+use crate::Placer;
+use decor_net::{Message, Network, NodeId};
+use std::collections::BTreeMap;
+
+/// Voronoi-based DECOR. `rc` overrides the config's communication radius
+/// (the paper evaluates `rc = 8` and `rc = 10·√2 ≈ 14.14`).
+#[derive(Clone, Copy, Debug)]
+pub struct VoronoiDecor {
+    /// Communication radius defining both the knowledge horizon and the
+    /// local Voronoi cells.
+    pub rc: f64,
+}
+
+/// Safety cap on synchronous rounds.
+const MAX_ROUNDS: usize = 100_000;
+
+impl VoronoiDecor {
+    /// Coverage of point `p` as estimated by the agent at `viewer`:
+    /// the number of *known* sensors (within `rc` of the viewer) covering
+    /// `p`. `coverers` are the true coverers of `p` (id, position).
+    fn estimate(
+        viewer: decor_geom::Point,
+        coverers: &[(usize, decor_geom::Point)],
+        rc: f64,
+    ) -> u32 {
+        let rc_sq = rc * rc;
+        coverers
+            .iter()
+            .filter(|&&(_, cpos)| viewer.dist_sq(cpos) <= rc_sq)
+            .count() as u32
+    }
+
+    /// Locally-estimated benefit of agent `viewer` placing at `c`:
+    /// Equation 1 restricted to the points the agent knows (within `rc` of
+    /// itself), with coverage replaced by the agent's estimate.
+    fn est_benefit(
+        map: &CoverageMap,
+        viewer: decor_geom::Point,
+        c: decor_geom::Point,
+        cfg: &DeploymentConfig,
+        rc: f64,
+    ) -> u64 {
+        let rc_sq = rc * rc;
+        let mut b = 0u64;
+        let mut in_range: Vec<usize> = Vec::new();
+        map.for_each_point_within(c, cfg.rs, |pid, ppos| {
+            if viewer.dist_sq(ppos) <= rc_sq {
+                in_range.push(pid);
+            }
+        });
+        for pid in in_range {
+            let p = map.points()[pid];
+            let coverers: Vec<(usize, decor_geom::Point)> = map
+                .sensors_covering(p)
+                .into_iter()
+                .map(|sid| (sid, map.sensor_pos(sid)))
+                .collect();
+            let est = Self::estimate(viewer, &coverers, rc);
+            if est < cfg.k {
+                b += (cfg.k - est) as u64;
+            }
+        }
+        b
+    }
+}
+
+impl Placer for VoronoiDecor {
+    fn name(&self) -> String {
+        format!("Voronoi (rc={:.1})", self.rc)
+    }
+
+    fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
+        cfg.validate();
+        let rc = self.rc;
+        assert!(
+            rc >= cfg.rs,
+            "Voronoi scheme needs rc >= rs (got rc={rc}, rs={})",
+            cfg.rs
+        );
+        let field = *map.field();
+        let mut net = Network::new(field);
+        let mut net_of: BTreeMap<usize, NodeId> = BTreeMap::new();
+        for (sid, pos) in map.active_sensors() {
+            let nid = net.add_node(pos, cfg.rs, rc);
+            net_of.insert(sid, nid);
+        }
+        let initial = map.n_active_sensors();
+        let mut out = PlacementOutcome {
+            initial_sensors: initial,
+            ..PlacementOutcome::default()
+        };
+        out.trace.push(TracePoint {
+            total_sensors: initial,
+            fraction_k_covered: map.fraction_k_covered(cfg.k),
+        });
+
+        let rc_sq = rc * rc;
+        let mut rounds = 0usize;
+        while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
+            // ---- Decision phase (coverage snapshot at round start) ----
+            // For every point, find the agents that (a) believe it is
+            // under-covered and (b) own it under their local view.
+            let mut owned_deficient: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for pid in 0..map.n_points() {
+                let p = map.points()[pid];
+                // Agents that could own p.
+                let mut cands: Vec<(usize, decor_geom::Point, f64)> = Vec::new();
+                map.for_each_sensor_within(p, rc, |sid, spos| {
+                    cands.push((sid, spos, p.dist_sq(spos)));
+                });
+                if cands.is_empty() {
+                    continue; // unreachable this round; fringe grows later
+                }
+                cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
+                let coverers: Vec<(usize, decor_geom::Point)> = map
+                    .sensors_covering(p)
+                    .into_iter()
+                    .map(|sid| (sid, map.sensor_pos(sid)))
+                    .collect();
+                for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
+                    if Self::estimate(spos, &coverers, rc) >= cfg.k {
+                        continue; // this agent believes p is fine
+                    }
+                    // Local ownership: no agent closer to p is a 1-hop
+                    // neighbor of this one.
+                    let blocked = cands[..idx]
+                        .iter()
+                        .any(|&(_, cpos, _)| spos.dist_sq(cpos) <= rc_sq);
+                    if !blocked {
+                        owned_deficient.entry(sid).or_default().push(pid);
+                    }
+                }
+            }
+
+            // Each acting agent picks its best owned deficient point.
+            let mut decisions: Vec<(usize, usize)> = Vec::new(); // (agent sid, point id)
+            for (&sid, pids) in &owned_deficient {
+                let viewer = map.sensor_pos(sid);
+                let mut best: Option<(usize, u64)> = None;
+                for &pid in pids {
+                    let b = Self::est_benefit(map, viewer, map.points()[pid], cfg, rc);
+                    if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                        best = Some((pid, b));
+                    }
+                }
+                if let Some((pid, _)) = best {
+                    decisions.push((sid, pid));
+                }
+            }
+
+            // ---- Stall rescue ----
+            if decisions.is_empty() {
+                if map.count_below(cfg.k) == 0 {
+                    break;
+                }
+                // Deficient points exist but nobody sees or reaches them:
+                // dispatch one sensor out-of-band to the deficient point
+                // nearest an existing agent (or the first one when the
+                // field is empty). Models the paper's bootstrap fallback.
+                let deficient = map.uncovered_ids(cfg.k);
+                let target = deficient
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let da = nearest_agent_dist(map, map.points()[a]);
+                        let db = nearest_agent_dist(map, map.points()[b]);
+                        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                    })
+                    .expect("non-empty deficient set");
+                let pos = map.points()[target];
+                let sid = map.add_sensor(pos, cfg.rs);
+                let nid = net.add_node(pos, cfg.rs, rc);
+                net_of.insert(sid, nid);
+                out.placed.push(pos);
+                rounds += 1;
+                out.trace.push(TracePoint {
+                    total_sensors: initial + out.placed.len(),
+                    fraction_k_covered: map.fraction_k_covered(cfg.k),
+                });
+                continue;
+            }
+
+            // ---- Apply phase ----
+            for &(agent_sid, pid) in &decisions {
+                if out.placed.len() >= cfg.max_new_nodes {
+                    break;
+                }
+                let pos = map.points()[pid];
+                let new_sid = map.add_sensor(pos, cfg.rs);
+                let new_nid = net.add_node(pos, cfg.rs, rc);
+                net_of.insert(new_sid, new_nid);
+                out.placed.push(pos);
+                // Placement notice: one unicast per 1-hop neighbor of the
+                // placing agent (traffic grows with rc — Fig. 10).
+                let agent_nid = net_of[&agent_sid];
+                let nbs = net.neighbors_of(agent_nid);
+                for nb in nbs {
+                    let _ = net.unicast(agent_nid, nb, Message::PlacementNotice { pos });
+                }
+            }
+
+            rounds += 1;
+            out.trace.push(TracePoint {
+                total_sensors: initial + out.placed.len(),
+                fraction_k_covered: map.fraction_k_covered(cfg.k),
+            });
+            if map.count_below(cfg.k) == 0 {
+                break;
+            }
+        }
+
+        out.rounds = rounds;
+        out.fully_covered = map.count_below(cfg.k) == 0;
+        let agents = map.n_active_sensors().max(1);
+        out.messages = MessageStats {
+            protocol_total: net.stats.protocol_sent,
+            cells: agents,
+            per_cell: net.stats.protocol_sent as f64 / agents as f64,
+            per_node_rotated: net.stats.protocol_sent as f64 / agents as f64,
+        };
+        out
+    }
+}
+
+/// Distance from `q` to the nearest active sensor (infinity when none).
+fn nearest_agent_dist(map: &CoverageMap, q: decor_geom::Point) -> f64 {
+    let mut best = f64::INFINITY;
+    // Cheap expanding search: try a few radii before giving up to a scan.
+    for r in [8.0, 16.0, 32.0, 64.0, 128.0] {
+        let mut found = false;
+        map.for_each_sensor_within(q, r, |_, spos| {
+            let d = q.dist(spos);
+            if d < best {
+                best = d;
+            }
+            found = true;
+        });
+        if found {
+            return best;
+        }
+    }
+    for (_, spos) in map.active_sensors() {
+        let d = q.dist(spos);
+        if d < best {
+            best = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::{Aabb, Point};
+    use decor_lds::{halton_points, random_points};
+
+    fn setup(k: u32, n_pts: usize, initial: usize, seed: u64) -> (CoverageMap, DeploymentConfig) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(k);
+        let mut map = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+        for p in random_points(initial, &field, seed) {
+            map.add_sensor(p, cfg.rs);
+        }
+        (map, cfg)
+    }
+
+    #[test]
+    fn reaches_full_coverage_small_rc() {
+        let (mut map, cfg) = setup(1, 500, 50, 1);
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered, "uncovered: {}", map.count_below(1));
+    }
+
+    #[test]
+    fn reaches_full_coverage_big_rc_k2() {
+        let (mut map, cfg) = setup(2, 500, 50, 2);
+        let out = VoronoiDecor { rc: 14.142 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        assert!(map.min_coverage() >= 2);
+    }
+
+    #[test]
+    fn bootstraps_from_empty_network() {
+        let (mut map, cfg) = setup(1, 300, 0, 3);
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        assert!(!out.placed.is_empty());
+    }
+
+    #[test]
+    fn covers_remote_disaster_region_by_expansion() {
+        // All initial sensors in the left half; the scheme must creep
+        // rightwards via newly placed nodes.
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(1);
+        let mut map = CoverageMap::new(halton_points(400, &field), &field, &cfg);
+        for i in 0..20 {
+            map.add_sensor(
+                Point::new(5.0 + (i % 5) as f64 * 8.0, 10.0 + (i / 5) as f64 * 20.0),
+                cfg.rs,
+            );
+        }
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        // Some placements must have reached the right half.
+        assert!(out.placed.iter().any(|p| p.x > 80.0));
+    }
+
+    #[test]
+    fn places_nothing_when_already_covered() {
+        let (mut map, cfg) = setup(1, 300, 0, 4);
+        map.add_sensor(Point::new(50.0, 50.0), 200.0);
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.placed.is_empty());
+        assert!(out.fully_covered);
+    }
+
+    #[test]
+    fn bigger_rc_wastes_fewer_nodes() {
+        // Fig. 8/9: more knowledge => placement closer to centralized.
+        let (mut m1, cfg) = setup(2, 600, 80, 5);
+        let small = VoronoiDecor { rc: 8.0 }.place(&mut m1, &cfg).placed.len();
+        let (mut m2, _) = setup(2, 600, 80, 5);
+        let big = VoronoiDecor { rc: 14.142 }
+            .place(&mut m2, &cfg)
+            .placed
+            .len();
+        assert!(
+            big <= small,
+            "big rc used {big} nodes, small rc used {small}"
+        );
+    }
+
+    #[test]
+    fn sends_messages_proportional_to_neighborhood() {
+        let (mut m1, cfg) = setup(2, 500, 80, 6);
+        let small = VoronoiDecor { rc: 8.0 }.place(&mut m1, &cfg).messages;
+        let (mut m2, _) = setup(2, 500, 80, 6);
+        let big = VoronoiDecor { rc: 14.142 }.place(&mut m2, &cfg).messages;
+        assert!(small.protocol_total > 0);
+        assert!(
+            big.per_cell > small.per_cell,
+            "big {} vs small {}",
+            big.per_cell,
+            small.per_cell
+        );
+    }
+
+    #[test]
+    fn estimate_ignores_sensors_beyond_rc() {
+        let viewer = Point::new(0.0, 0.0);
+        let coverers = vec![
+            (0, Point::new(3.0, 0.0)), // within rc=8
+            (1, Point::new(9.0, 0.0)), // beyond
+            (2, Point::new(7.9, 0.0)), // within
+        ];
+        assert_eq!(VoronoiDecor::estimate(viewer, &coverers, 8.0), 2);
+    }
+
+    #[test]
+    fn trace_ends_fully_covered() {
+        let (mut map, cfg) = setup(1, 400, 40, 7);
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert_eq!(out.trace.last().unwrap().fraction_k_covered, 1.0);
+        for w in out.trace.windows(2) {
+            assert!(w[1].fraction_k_covered >= w[0].fraction_k_covered - 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_max_new_nodes() {
+        let cfg = DeploymentConfig {
+            max_new_nodes: 9,
+            ..DeploymentConfig::with_k(2)
+        };
+        let field = Aabb::square(100.0);
+        let mut map = CoverageMap::new(halton_points(300, &field), &field, &cfg);
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.placed.len() <= 9);
+        assert!(!out.fully_covered);
+    }
+
+    #[test]
+    #[should_panic(expected = "rc >= rs")]
+    fn rc_below_rs_panics() {
+        let (mut map, cfg) = setup(1, 100, 0, 8);
+        let _ = VoronoiDecor { rc: 2.0 }.place(&mut map, &cfg);
+    }
+}

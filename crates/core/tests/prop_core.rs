@@ -1,0 +1,143 @@
+//! Property tests for the DECOR core: coverage invariants shared by every
+//! placement algorithm, redundancy soundness, and reliability math.
+
+use decor_core::{
+    redundancy::redundant_mask, reliability::coverage_reliability, CentralizedGreedy, CoverageMap,
+    DeploymentConfig, GridDecor, Placer, RandomPlacement, VoronoiDecor,
+};
+use decor_geom::{Aabb, Point};
+use decor_lds::halton_points;
+use proptest::prelude::*;
+
+fn small_map(k: u32, n_pts: usize, sensors: &[(f64, f64)]) -> (CoverageMap, DeploymentConfig) {
+    let field = Aabb::square(100.0);
+    let cfg = DeploymentConfig {
+        k,
+        ..DeploymentConfig::default()
+    };
+    let mut map = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+    for &(x, y) in sensors {
+        map.add_sensor(Point::new(x, y), cfg.rs);
+    }
+    (map, cfg)
+}
+
+fn placers(seed: u64) -> Vec<Box<dyn Placer>> {
+    vec![
+        Box::new(CentralizedGreedy),
+        Box::new(RandomPlacement { seed }),
+        Box::new(GridDecor { cell_size: 10.0 }),
+        Box::new(VoronoiDecor { rc: 8.0 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every placer, on every random initial deployment: terminates,
+    /// fully covers, places only inside the field, and reports a
+    /// consistent outcome.
+    #[test]
+    fn placer_postconditions(
+        sensors in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..40),
+        k in 1u32..3,
+        seed in any::<u64>(),
+    ) {
+        for placer in placers(seed) {
+            let (mut map, cfg) = small_map(k, 250, &sensors);
+            let before = map.n_active_sensors();
+            let out = placer.place(&mut map, &cfg);
+            prop_assert!(out.fully_covered, "{}", placer.name());
+            prop_assert_eq!(map.count_below(k), 0, "{}", placer.name());
+            prop_assert_eq!(out.initial_sensors, before, "{}", placer.name());
+            prop_assert_eq!(
+                map.n_active_sensors(),
+                before + out.placed.len(),
+                "{}",
+                placer.name()
+            );
+            let field = Aabb::square(100.0);
+            for p in &out.placed {
+                prop_assert!(field.contains(*p), "{} left the field", placer.name());
+            }
+            map.verify_consistency();
+        }
+    }
+
+    /// Redundancy elimination is sound for arbitrary deployments: after
+    /// removing the masked sensors the map still meets the requirement it
+    /// met before (if it did).
+    #[test]
+    fn redundancy_mask_sound(
+        sensors in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..80),
+        k in 1u32..3,
+    ) {
+        let (mut map, _) = small_map(k, 200, &sensors);
+        let met_before = map.count_below(k) == 0;
+        let mask = redundant_mask(&mut map, k);
+        // Mask never flags inactive sensors and never flags all coverers
+        // of a weakly-covered point.
+        for (sid, &flag) in mask.iter().enumerate() {
+            if flag {
+                map.deactivate_sensor(sid);
+            }
+        }
+        if met_before {
+            prop_assert_eq!(map.count_below(k), 0, "coverage lost by elimination");
+        }
+        map.verify_consistency();
+    }
+
+    /// Reliability is monotone in k and antitone in q.
+    #[test]
+    fn reliability_monotonicity(k in 1u32..10, q in 0.01..0.99f64) {
+        let r = coverage_reliability(k, q);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(coverage_reliability(k + 1, q) >= r);
+        prop_assert!(coverage_reliability(k, q + 0.009) <= r + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Deactivating a random subset of sensors then reactivating them
+    /// restores the exact coverage state (failure experiments rely on
+    /// this for their clone-free what-if scans).
+    #[test]
+    fn deactivate_reactivate_roundtrip(
+        sensors in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..60),
+        kills in prop::collection::vec(any::<prop::sample::Index>(), 1..30),
+    ) {
+        let (mut map, _) = small_map(1, 150, &sensors);
+        let before: Vec<u32> = (0..map.n_points()).map(|i| map.coverage(i)).collect();
+        let mut killed = std::collections::BTreeSet::new();
+        for sel in &kills {
+            let sid = sel.index(sensors.len());
+            if map.deactivate_sensor(sid) {
+                killed.insert(sid);
+            }
+        }
+        for &sid in &killed {
+            prop_assert!(map.reactivate_sensor(sid));
+        }
+        let after: Vec<u32> = (0..map.n_points()).map(|i| map.coverage(i)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// More initial sensors never increase the number of *new* nodes the
+    /// centralized greedy needs (superset coverage dominance).
+    #[test]
+    fn more_initials_never_hurt_centralized(
+        base in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..20),
+        extra in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..10),
+    ) {
+        let (mut m1, cfg) = small_map(1, 200, &base);
+        let n1 = CentralizedGreedy.place(&mut m1, &cfg).placed.len();
+        let mut both = base.clone();
+        both.extend(extra.iter().copied());
+        let (mut m2, _) = small_map(1, 200, &both);
+        let n2 = CentralizedGreedy.place(&mut m2, &cfg).placed.len();
+        prop_assert!(n2 <= n1, "superset start used more new nodes: {n2} > {n1}");
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII field renderings for the qualitative figures (4, 5, 6).
+
+use decor_geom::{Aabb, Point};
+
+/// Renders a scatter of points over `field` as a `width × height`
+/// character raster. Multiple points per raster cell render as digits
+/// (2–9) and `#` for ten or more; a single point renders as `marker`.
+pub fn scatter(
+    field: &Aabb,
+    points: &[Point],
+    width: usize,
+    height: usize,
+    marker: char,
+) -> String {
+    assert!(width >= 2 && height >= 2, "raster must be at least 2x2");
+    let mut counts = vec![0usize; width * height];
+    for &p in points {
+        if !field.contains(p) {
+            continue;
+        }
+        let u = (p.x - field.min.x) / field.width();
+        let v = (p.y - field.min.y) / field.height();
+        let cx = ((u * width as f64) as usize).min(width - 1);
+        // Row 0 renders the top of the field.
+        let cy = height - 1 - ((v * height as f64) as usize).min(height - 1);
+        counts[cy * width + cx] += 1;
+    }
+    let mut s = String::with_capacity((width + 3) * (height + 2));
+    s.push('+');
+    s.push_str(&"-".repeat(width));
+    s.push_str("+\n");
+    for row in 0..height {
+        s.push('|');
+        for col in 0..width {
+            let c = counts[row * width + col];
+            s.push(match c {
+                0 => ' ',
+                1 => marker,
+                2..=9 => (b'0' + c as u8) as char,
+                _ => '#',
+            });
+        }
+        s.push_str("|\n");
+    }
+    s.push('+');
+    s.push_str(&"-".repeat(width));
+    s.push_str("+\n");
+    s
+}
+
+/// Renders two point layers: `base` with `base_marker` and `overlay`
+/// drawn on top with `overlay_marker` (overlay wins collisions).
+pub fn scatter2(
+    field: &Aabb,
+    base: &[Point],
+    base_marker: char,
+    overlay: &[Point],
+    overlay_marker: char,
+    width: usize,
+    height: usize,
+) -> String {
+    let base_r = scatter(field, base, width, height, base_marker);
+    let over_r = scatter(field, overlay, width, height, overlay_marker);
+    base_r
+        .chars()
+        .zip(over_r.chars())
+        .map(|(b, o)| {
+            if o != ' ' && o != '+' && o != '-' && o != '|' && o != '\n' {
+                o
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_dimensions() {
+        let field = Aabb::square(10.0);
+        let s = scatter(&field, &[], 20, 5, '.');
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 7); // border + 5 rows + border
+        assert_eq!(lines[1].len(), 22); // | + 20 + |
+    }
+
+    #[test]
+    fn single_point_lands_in_expected_cell() {
+        let field = Aabb::square(10.0);
+        // Point near the top-left corner of the field (low x, high y).
+        let s = scatter(&field, &[Point::new(0.1, 9.9)], 10, 10, '*');
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(&lines[1][1..2], "*", "{s}");
+    }
+
+    #[test]
+    fn collisions_render_counts() {
+        let field = Aabb::square(10.0);
+        let pts = vec![Point::new(5.0, 5.0); 3];
+        let s = scatter(&field, &pts, 4, 4, '*');
+        assert!(s.contains('3'), "{s}");
+        let many = vec![Point::new(5.0, 5.0); 15];
+        let s2 = scatter(&field, &many, 4, 4, '*');
+        assert!(s2.contains('#'));
+    }
+
+    #[test]
+    fn out_of_field_points_are_skipped() {
+        let field = Aabb::square(10.0);
+        let s = scatter(&field, &[Point::new(50.0, 50.0)], 6, 6, '*');
+        assert!(!s.contains('*'));
+    }
+
+    #[test]
+    fn overlay_wins_collisions() {
+        let field = Aabb::square(10.0);
+        let b = vec![Point::new(5.0, 5.0)];
+        let o = vec![Point::new(5.0, 5.0)];
+        let s = scatter2(&field, &b, '.', &o, 'O', 8, 8);
+        assert!(s.contains('O'));
+        assert!(!s.contains('.'));
+    }
+}

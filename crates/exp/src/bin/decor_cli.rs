@@ -1,0 +1,106 @@
+//! `decor-cli` — deploy, restore and diagnose sensor fields from the
+//! command line.
+//!
+//! ```text
+//! decor-cli deploy   --scheme grid-small --k 3 [--points 2000] [--initial 200]
+//!                    [--seed 1] [--rs 4] [--rc 8] [--field 100] [--out sensors.csv]
+//! decor-cli restore  --scheme voronoi-big --k 2 --disaster 50,50,24 [--seed 1] ...
+//! decor-cli diagnose --in sensors.csv --k 3 [--points 2000] ...
+//! ```
+
+use decor_core::restore::fail_and_restore;
+use decor_core::{CoverageMap, DeploymentDiagnostics, Placer};
+use decor_exp::cli::{
+    params_from, parse_args, parse_disaster, parse_scheme, sensors_from_csv, sensors_to_csv,
+};
+use decor_lds::halton_points;
+use decor_net::FailurePlan;
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw)?;
+    let (params, cfg) = params_from(&args)?;
+    match args.command.as_str() {
+        "deploy" => {
+            let scheme = parse_scheme(args.get_or("scheme", "grid-small"))?;
+            let mut map = params.make_map(&cfg, params.initial_nodes, params.base_seed);
+            let placer: Box<dyn Placer> = params.placer(scheme, params.base_seed);
+            let out = placer.place(&mut map, &cfg);
+            let diag = DeploymentDiagnostics::analyze(&mut map, cfg.k, cfg.rs);
+            println!(
+                "{}: placed {} new sensors in {} rounds",
+                placer.name(),
+                out.placed.len(),
+                out.rounds
+            );
+            println!("{}", diag.summary());
+            if out.messages.protocol_total > 0 {
+                println!(
+                    "messages: {} total, {:.2}/cell, {:.2}/node (rotated)",
+                    out.messages.protocol_total,
+                    out.messages.per_cell,
+                    out.messages.per_node_rotated
+                );
+            }
+            if let Some(path) = args.flags.get("out") {
+                std::fs::write(path, sensors_to_csv(&map)).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        "restore" => {
+            let scheme = parse_scheme(args.get_or("scheme", "voronoi-big"))?;
+            let disk = parse_disaster(args.get_or("disaster", "50,50,24"))?;
+            let mut map = params.make_map(&cfg, params.initial_nodes, params.base_seed);
+            let placer: Box<dyn Placer> = params.placer(scheme, params.base_seed);
+            // Reach full coverage first, then fail and restore.
+            placer.place(&mut map, &cfg);
+            let plan = FailurePlan::Area { disk };
+            let report = fail_and_restore(&mut map, placer.as_ref(), &cfg, &plan, None);
+            println!(
+                "disaster at ({}, {}) r={} destroyed {} sensors",
+                disk.center.x, disk.center.y, disk.radius, report.victims
+            );
+            println!(
+                "coverage: {:.1}% after failure -> {:.1}% after restoring with {} ({} new sensors)",
+                report.coverage_after_failure * 100.0,
+                report.coverage_after_restore * 100.0,
+                placer.name(),
+                report.extra_nodes
+            );
+            if let Some(path) = args.flags.get("out") {
+                std::fs::write(path, sensors_to_csv(&map)).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        "diagnose" => {
+            let path = args
+                .flags
+                .get("in")
+                .ok_or("diagnose needs --in sensors.csv")?;
+            let csv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let sensors = sensors_from_csv(&csv)?;
+            let field = params.field();
+            let mut map = CoverageMap::new(halton_points(params.n_points, &field), &field, &cfg);
+            for (p, rs) in sensors {
+                if field.contains(p) {
+                    map.add_sensor(p, rs);
+                }
+            }
+            let diag = DeploymentDiagnostics::analyze(&mut map, cfg.k, cfg.rs);
+            println!("{}", diag.summary());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown subcommand '{other}' (deploy | restore | diagnose)"
+        )),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Regenerates the DECOR paper's figures as ASCII tables and CSV files.
+//!
+//! Usage:
+//! ```text
+//! decor-figures [--quick] [--out DIR] [fig04|fig05|fig06|fig07|fig08|
+//!                fig09|fig10|fig11|fig12|fig13|fig14|all]...
+//! ```
+//!
+//! With no figure arguments, `all` is assumed. `--quick` runs the scaled-
+//! down configuration (500 points, 2 seeds) instead of the paper's
+//! (2000 points, 5 seeds). CSVs land in `DIR` (default `results/`).
+
+use decor_exp::{
+    common::ExpParams, fig04, fig05_06, fig07, fig08, fig09, fig10, fig11, fig12, fig13_14, Table,
+};
+use std::io::Write;
+
+fn write_svg(dir: &str, id: &str, svg: &str) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = format!("{dir}/{id}.svg");
+    std::fs::write(&path, svg).expect("write svg");
+    eprintln!("wrote {path}");
+}
+
+/// SVG builders for the qualitative figures.
+mod fig_svgs {
+    use decor_exp::common::{deploy, ExpParams};
+    use decor_exp::fig05_06::{apply_disaster, disaster_disk};
+    use decor_exp::svg::{render_svg, Layer};
+    use decor_geom::Point;
+    use decor_lds::halton_points;
+
+    pub fn field_points(params: &ExpParams) -> String {
+        let field = params.field();
+        let pts = halton_points(params.n_points, &field);
+        render_svg(
+            &field,
+            &[Layer {
+                points: &pts,
+                radius: 0.4,
+                fill: "black",
+                opacity: 0.8,
+            }],
+            800,
+        )
+    }
+
+    pub fn deployment(params: &ExpParams) -> String {
+        let field = params.field();
+        let (map, _, cfg) = deploy(
+            params,
+            decor_core::SchemeKind::GridSmall,
+            1,
+            params.base_seed,
+        );
+        let sensors: Vec<Point> = map.active_sensors().iter().map(|&(_, p)| p).collect();
+        render_svg(
+            &field,
+            &[
+                Layer {
+                    points: &sensors,
+                    radius: cfg.rs,
+                    fill: "steelblue",
+                    opacity: 0.25,
+                },
+                Layer {
+                    points: &sensors,
+                    radius: 0.6,
+                    fill: "navy",
+                    opacity: 1.0,
+                },
+            ],
+            800,
+        )
+    }
+
+    pub fn disaster(params: &ExpParams) -> String {
+        let field = params.field();
+        let (mut map, _, cfg) = deploy(
+            params,
+            decor_core::SchemeKind::GridSmall,
+            1,
+            params.base_seed,
+        );
+        apply_disaster(&mut map, params);
+        let sensors: Vec<Point> = map.active_sensors().iter().map(|&(_, p)| p).collect();
+        let disc_center = vec![disaster_disk(params).center];
+        render_svg(
+            &field,
+            &[
+                Layer {
+                    points: &disc_center,
+                    radius: disaster_disk(params).radius,
+                    fill: "salmon",
+                    opacity: 0.35,
+                },
+                Layer {
+                    points: &sensors,
+                    radius: cfg.rs,
+                    fill: "steelblue",
+                    opacity: 0.25,
+                },
+                Layer {
+                    points: &sensors,
+                    radius: 0.6,
+                    fill: "navy",
+                    opacity: 1.0,
+                },
+            ],
+            800,
+        )
+    }
+}
+
+fn write_outputs(dir: &str, tables: &[Table]) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    for t in tables {
+        println!("{}", t.to_ascii());
+        let path = format!("{dir}/{}.csv", t.id);
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(t.to_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_owned());
+    let mut figs: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with("fig") || *a == "all" || *a == "ext")
+        .cloned()
+        .collect();
+    if figs.is_empty() {
+        figs.push("all".to_owned());
+    }
+    let params = if quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::paper()
+    };
+    eprintln!(
+        "running {:?} with {} points, {} initial nodes, {} seeds",
+        figs, params.n_points, params.initial_nodes, params.seeds
+    );
+
+    let want = |name: &str| figs.iter().any(|f| f == name || f == "all");
+    let mut tables: Vec<Table> = Vec::new();
+
+    if want("fig04") {
+        println!("{}", fig04::render(&params));
+        tables.push(fig04::run(&params));
+        write_svg(&out_dir, "fig04", &fig_svgs::field_points(&params));
+    }
+    if want("fig05") {
+        println!("{}", fig05_06::render_deployment(&params));
+        tables.push(fig05_06::run_deployment(&params));
+        write_svg(&out_dir, "fig05", &fig_svgs::deployment(&params));
+    }
+    if want("fig06") {
+        println!("{}", fig05_06::render_disaster(&params));
+        tables.push(fig05_06::run_disaster(&params));
+        write_svg(&out_dir, "fig06", &fig_svgs::disaster(&params));
+    }
+    if want("fig07") {
+        tables.push(fig07::run(&params));
+    }
+    if want("fig08") {
+        tables.push(fig08::run(&params));
+    }
+    if want("fig09") {
+        tables.push(fig09::run(&params));
+    }
+    if want("fig10") {
+        tables.push(fig10::run(&params));
+    }
+    if want("fig11") {
+        tables.push(fig11::run(&params));
+    }
+    if want("fig12") {
+        tables.push(fig12::run(&params));
+    }
+    if want("fig13") || want("fig14") {
+        let (t13, t14) = fig13_14::run(&params);
+        if want("fig13") {
+            tables.push(t13);
+        }
+        if want("fig14") {
+            tables.push(t14);
+        }
+    }
+    if figs.iter().any(|f| f == "ext" || f == "all") {
+        tables.extend(decor_exp::run_extensions(&params));
+    }
+    write_outputs(&out_dir, &tables);
+}

@@ -1,0 +1,229 @@
+//! Argument parsing and I/O helpers for the `decor-cli` binary.
+//!
+//! Hand-rolled parsing (no external CLI dependency): flags are
+//! `--name value` pairs after a subcommand. The logic lives here, in
+//! library code, so it is unit-testable; the binary is a thin shell.
+
+use crate::common::ExpParams;
+use decor_core::{CoverageMap, DeploymentConfig, SchemeKind};
+use decor_geom::{Disk, Point};
+use std::collections::BTreeMap;
+
+/// A parsed command line: subcommand plus `--flag value` options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliArgs {
+    /// The subcommand (`deploy`, `restore`, `diagnose`, ...).
+    pub command: String,
+    /// Flag values keyed without the `--` prefix.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parses `args` (without the program name).
+///
+/// Returns an error string on malformed input (missing subcommand,
+/// dangling flag, flag without `--`).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or("missing subcommand (deploy | restore | diagnose)")?
+        .clone();
+    if command.starts_with("--") {
+        return Err(format!("expected a subcommand before {command}"));
+    }
+    let mut flags = BTreeMap::new();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(CliArgs { command, flags })
+}
+
+impl CliArgs {
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default; errors name the flag.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+/// Parses a scheme name (`centralized`, `random`, `grid-small`,
+/// `grid-big`, `voronoi-small`, `voronoi-big`).
+pub fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
+    match name {
+        "centralized" => Ok(SchemeKind::Centralized),
+        "random" => Ok(SchemeKind::Random),
+        "grid-small" => Ok(SchemeKind::GridSmall),
+        "grid-big" => Ok(SchemeKind::GridBig),
+        "voronoi-small" => Ok(SchemeKind::VoronoiSmall),
+        "voronoi-big" => Ok(SchemeKind::VoronoiBig),
+        other => Err(format!(
+            "unknown scheme '{other}' (centralized | random | grid-small | grid-big | voronoi-small | voronoi-big)"
+        )),
+    }
+}
+
+/// Parses a disaster spec `x,y,r` into a disk.
+pub fn parse_disaster(spec: &str) -> Result<Disk, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("disaster spec must be x,y,r — got '{spec}'"));
+    }
+    let nums: Result<Vec<f64>, _> = parts.iter().map(|p| p.trim().parse::<f64>()).collect();
+    let nums = nums.map_err(|_| format!("disaster spec has non-numeric parts: '{spec}'"))?;
+    if nums[2] <= 0.0 {
+        return Err("disaster radius must be positive".to_owned());
+    }
+    Ok(Disk::new(Point::new(nums[0], nums[1]), nums[2]))
+}
+
+/// Serializes a deployment's active sensors as `x,y,rs` CSV lines.
+pub fn sensors_to_csv(map: &CoverageMap) -> String {
+    let mut s = String::from("x,y,rs\n");
+    for (sid, pos) in map.active_sensors() {
+        s.push_str(&format!("{},{},{}\n", pos.x, pos.y, map.sensor_rs(sid)));
+    }
+    s
+}
+
+/// Parses `x,y,rs` CSV (with or without header) into sensor tuples.
+pub fn sensors_from_csv(csv: &str) -> Result<Vec<(Point, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("x,") {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!("line {}: expected x,y,rs", lineno + 1));
+        }
+        let nums: Result<Vec<f64>, _> = parts.iter().map(|p| p.trim().parse::<f64>()).collect();
+        let nums = nums.map_err(|_| format!("line {}: non-numeric field", lineno + 1))?;
+        out.push((Point::new(nums[0], nums[1]), nums[2]));
+    }
+    Ok(out)
+}
+
+/// Builds the experiment parameters a CLI invocation describes.
+pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), String> {
+    let params = ExpParams {
+        field_side: args.num_or("field", 100.0)?,
+        n_points: args.num_or("points", 2000)?,
+        initial_nodes: args.num_or("initial", 200)?,
+        seeds: 1,
+        base_seed: args.num_or("seed", 1u64)?,
+    };
+    let cfg = DeploymentConfig {
+        rs: args.num_or("rs", 4.0)?,
+        rc: args.num_or("rc", 8.0)?,
+        k: args.num_or("k", 3u32)?,
+        max_new_nodes: args.num_or("max-nodes", 100_000usize)?,
+    };
+    Ok((params, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse_args(&argv("deploy --scheme grid-small --k 3")).unwrap();
+        assert_eq!(a.command, "deploy");
+        assert_eq!(a.get_or("scheme", ""), "grid-small");
+        assert_eq!(a.num_or("k", 0u32).unwrap(), 3);
+        assert_eq!(a.num_or("seed", 42u64).unwrap(), 42, "default applies");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("--k 3")).is_err());
+        assert!(parse_args(&argv("deploy k 3")).is_err());
+        assert!(parse_args(&argv("deploy --k")).is_err());
+        let a = parse_args(&argv("deploy --k x")).unwrap();
+        assert!(a.num_or("k", 1u32).is_err());
+    }
+
+    #[test]
+    fn parses_all_schemes() {
+        for (name, kind) in [
+            ("centralized", SchemeKind::Centralized),
+            ("random", SchemeKind::Random),
+            ("grid-small", SchemeKind::GridSmall),
+            ("grid-big", SchemeKind::GridBig),
+            ("voronoi-small", SchemeKind::VoronoiSmall),
+            ("voronoi-big", SchemeKind::VoronoiBig),
+        ] {
+            assert_eq!(parse_scheme(name).unwrap(), kind);
+        }
+        assert!(parse_scheme("bogus").is_err());
+    }
+
+    #[test]
+    fn parses_disaster_spec() {
+        let d = parse_disaster("50,60,24").unwrap();
+        assert_eq!(d.center, Point::new(50.0, 60.0));
+        assert_eq!(d.radius, 24.0);
+        assert!(parse_disaster("50,60").is_err());
+        assert!(parse_disaster("a,b,c").is_err());
+        assert!(parse_disaster("1,2,-3").is_err());
+    }
+
+    #[test]
+    fn sensor_csv_roundtrip() {
+        let params = ExpParams::quick();
+        let cfg = DeploymentConfig::with_k(1);
+        let map = params.make_map(&cfg, 25, 9);
+        let csv = sensors_to_csv(&map);
+        let parsed = sensors_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 25);
+        for ((p, rs), (sid, pos)) in parsed.iter().zip(map.active_sensors()) {
+            assert!((p.x - pos.x).abs() < 1e-9);
+            assert!((p.y - pos.y).abs() < 1e-9);
+            assert_eq!(*rs, map.sensor_rs(sid));
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors_carry_line_numbers() {
+        assert!(sensors_from_csv("1,2\n").unwrap_err().contains("line 1"));
+        assert!(sensors_from_csv("x,y,rs\n1,2,zzz\n")
+            .unwrap_err()
+            .contains("line 2"));
+    }
+
+    #[test]
+    fn params_from_flags() {
+        let a = parse_args(&argv(
+            "deploy --points 500 --k 2 --rs 3 --rc 9 --seed 7 --initial 50",
+        ))
+        .unwrap();
+        let (p, cfg) = params_from(&a).unwrap();
+        assert_eq!(p.n_points, 500);
+        assert_eq!(p.initial_nodes, 50);
+        assert_eq!(p.base_seed, 7);
+        assert_eq!(cfg.k, 2);
+        assert_eq!(cfg.rs, 3.0);
+        assert_eq!(cfg.rc, 9.0);
+    }
+}

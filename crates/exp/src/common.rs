@@ -1,0 +1,154 @@
+//! Shared experiment setup: the paper's simulation parameters and helpers
+//! to build fields, initial deployments and algorithm instances.
+
+use decor_core::{
+    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, Placer, RandomPlacement,
+    SchemeKind, VoronoiDecor,
+};
+use decor_geom::Aabb;
+use decor_lds::{halton_points, random_points};
+
+/// Experiment-scale parameters.
+///
+/// [`ExpParams::paper`] reproduces §4 exactly: a `100 × 100` field
+/// approximated with 2000 Halton points, `rs = 4`, up to 200 initial
+/// sensors, figures averaged over 5 randomly generated fields.
+/// [`ExpParams::quick`] shrinks everything for smoke tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpParams {
+    /// Field edge length.
+    pub field_side: f64,
+    /// Number of approximation points.
+    pub n_points: usize,
+    /// Initial randomly-deployed sensors before restoration starts.
+    pub initial_nodes: usize,
+    /// Replicas (random fields) each data point is averaged over.
+    pub seeds: usize,
+    /// Base seed; replica `i` derives its own via splitmix.
+    pub base_seed: u64,
+}
+
+impl ExpParams {
+    /// The paper's configuration (§4, first paragraph).
+    pub fn paper() -> Self {
+        ExpParams {
+            field_side: 100.0,
+            n_points: 2000,
+            initial_nodes: 200,
+            seeds: 5,
+            base_seed: 0xDEC0_2007,
+        }
+    }
+
+    /// A reduced configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        ExpParams {
+            field_side: 100.0,
+            n_points: 500,
+            initial_nodes: 60,
+            seeds: 2,
+            base_seed: 0xDEC0,
+        }
+    }
+
+    /// The monitored field.
+    pub fn field(&self) -> Aabb {
+        Aabb::square(self.field_side)
+    }
+
+    /// A fresh coverage map with the Halton approximation and `initial`
+    /// random sensors (the "partially monitored" starting state).
+    pub fn make_map(&self, cfg: &DeploymentConfig, initial: usize, seed: u64) -> CoverageMap {
+        let field = self.field();
+        let mut map = CoverageMap::new(halton_points(self.n_points, &field), &field, cfg);
+        for p in random_points(initial, &field, seed) {
+            map.add_sensor(p, cfg.rs);
+        }
+        map
+    }
+
+    /// Instantiates the placer for a scheme. `seed` feeds the random
+    /// baseline; DECOR variants and the centralized greedy are
+    /// deterministic given the map.
+    pub fn placer(&self, scheme: SchemeKind, seed: u64) -> Box<dyn Placer> {
+        match scheme {
+            SchemeKind::GridSmall => Box::new(GridDecor { cell_size: 5.0 }),
+            SchemeKind::GridBig => Box::new(GridDecor { cell_size: 10.0 }),
+            SchemeKind::VoronoiSmall => Box::new(VoronoiDecor { rc: 8.0 }),
+            SchemeKind::VoronoiBig => Box::new(VoronoiDecor {
+                rc: 10.0 * std::f64::consts::SQRT_2,
+            }),
+            SchemeKind::Centralized => Box::new(CentralizedGreedy),
+            SchemeKind::Random => Box::new(RandomPlacement { seed }),
+        }
+    }
+}
+
+/// Deploys `scheme` at coverage requirement `k` on a fresh random field:
+/// builds the map (initial sensors seeded by `seed`), runs the placer, and
+/// returns the final map, the outcome, and the config used.
+pub fn deploy(
+    params: &ExpParams,
+    scheme: SchemeKind,
+    k: u32,
+    seed: u64,
+) -> (
+    decor_core::CoverageMap,
+    decor_core::PlacementOutcome,
+    DeploymentConfig,
+) {
+    let cfg = DeploymentConfig::with_k(k);
+    let mut map = params.make_map(&cfg, params.initial_nodes, seed);
+    let placer = params.placer(scheme, seed ^ 0x9E37);
+    let outcome = placer.place(&mut map, &cfg);
+    (map, outcome, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_reaches_full_coverage() {
+        let p = ExpParams::quick();
+        let (map, out, cfg) = deploy(&p, SchemeKind::Centralized, 1, 3);
+        assert!(out.fully_covered);
+        assert_eq!(map.count_below(cfg.k), 0);
+    }
+
+    #[test]
+    fn paper_params_match_section_4() {
+        let p = ExpParams::paper();
+        assert_eq!(p.field_side, 100.0);
+        assert_eq!(p.n_points, 2000);
+        assert_eq!(p.initial_nodes, 200);
+        assert_eq!(p.seeds, 5);
+    }
+
+    #[test]
+    fn make_map_contains_initial_sensors() {
+        let p = ExpParams::quick();
+        let cfg = DeploymentConfig::with_k(1);
+        let map = p.make_map(&cfg, 30, 7);
+        assert_eq!(map.n_active_sensors(), 30);
+        assert_eq!(map.n_points(), p.n_points);
+    }
+
+    #[test]
+    fn make_map_is_deterministic_in_seed() {
+        let p = ExpParams::quick();
+        let cfg = DeploymentConfig::with_k(1);
+        let a = p.make_map(&cfg, 20, 3).active_sensors();
+        let b = p.make_map(&cfg, 20, 3).active_sensors();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_schemes_instantiate() {
+        let p = ExpParams::quick();
+        for s in SchemeKind::ALL {
+            let placer = p.placer(s, 1);
+            assert!(!placer.name().is_empty());
+        }
+    }
+}

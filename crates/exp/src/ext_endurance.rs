@@ -1,0 +1,143 @@
+//! Extension — endurance under repeated disasters.
+//!
+//! The paper evaluates a single failure event; a long-lived network
+//! suffers many. This experiment runs `ROUNDS` disaster/restore cycles
+//! (each disaster a disc of radius 16 at a seeded random position) and
+//! tracks whether repeated in-network restoration stays sustainable:
+//!
+//! - **extra nodes per cycle** should stay roughly flat — every disaster
+//!   destroys a bounded region, and the restorer only refills that hole;
+//! - **active sensors** should plateau slightly above the single-shot
+//!   deployment size (holes are refilled to the same density), while the
+//!   **cumulative** count grows linearly with the disaster count;
+//! - coverage must return to 100% after every cycle.
+
+use crate::common::{deploy, ExpParams};
+use crate::stats::mean;
+use crate::table::Table;
+use decor_core::parallel::run_replicas;
+use decor_core::restore::fail_and_restore;
+use decor_core::SchemeKind;
+use decor_geom::{Disk, Point};
+use decor_lds::vdc::splitmix64;
+use decor_net::FailurePlan;
+
+/// Disaster/restore cycles simulated.
+pub const ROUNDS: usize = 8;
+
+/// Disaster disc radius (smaller than §4.2's 24 so repeated events stay
+/// local).
+pub const DISASTER_R: f64 = 16.0;
+
+/// A deterministic disaster center for cycle `i`.
+pub fn disaster_center(params: &ExpParams, seed: u64, i: usize) -> Point {
+    let a = splitmix64(seed ^ (i as u64) << 16);
+    let b = splitmix64(a);
+    let margin = DISASTER_R * 0.5;
+    let span = params.field_side - 2.0 * margin;
+    Point::new(
+        margin + (a >> 11) as f64 / (1u64 << 53) as f64 * span,
+        margin + (b >> 11) as f64 / (1u64 << 53) as f64 * span,
+    )
+}
+
+/// Runs the endurance study with the Voronoi (big rc) scheme at k = 2.
+/// Columns: cycle, extra nodes this cycle, active sensors, cumulative
+/// sensors, coverage % after restore.
+pub fn run(params: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "ext_endurance",
+        format!("{ROUNDS} disaster/restore cycles (Voronoi big rc, k=2, disc r={DISASTER_R})"),
+        vec![
+            "cycle".into(),
+            "extra_nodes".into(),
+            "active_sensors".into(),
+            "cumulative_sensors".into(),
+            "coverage_pct".into(),
+        ],
+    );
+    let k = 2;
+    let scheme = SchemeKind::VoronoiBig;
+    let per_cycle = run_replicas(params.seeds, params.base_seed ^ 0xE7D, |_, seed| {
+        let (mut map, _, cfg) = deploy(params, scheme, k, seed);
+        let mut rows = Vec::with_capacity(ROUNDS);
+        for cycle in 0..ROUNDS {
+            let disk = Disk::new(disaster_center(params, seed, cycle), DISASTER_R);
+            let placer = params.placer(scheme, seed ^ (cycle as u64) << 8);
+            let plan = FailurePlan::Area { disk };
+            let report = fail_and_restore(&mut map, placer.as_ref(), &cfg, &plan, None);
+            rows.push((
+                report.extra_nodes as f64,
+                map.n_active_sensors() as f64,
+                map.n_sensors() as f64,
+                report.coverage_after_restore * 100.0,
+            ));
+        }
+        rows
+    });
+    for cycle in 0..ROUNDS {
+        t.push_row(vec![
+            (cycle + 1) as f64,
+            mean(&per_cycle.iter().map(|r| r[cycle].0).collect::<Vec<_>>()),
+            mean(&per_cycle.iter().map(|r| r[cycle].1).collect::<Vec<_>>()),
+            mean(&per_cycle.iter().map(|r| r[cycle].2).collect::<Vec<_>>()),
+            mean(&per_cycle.iter().map(|r| r[cycle].3).collect::<Vec<_>>()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_restoration_is_sustainable() {
+        let params = ExpParams::quick();
+        let t = run(&params);
+        assert_eq!(t.rows.len(), ROUNDS);
+        for row in &t.rows {
+            assert_eq!(row[4], 100.0, "every cycle must end fully covered");
+        }
+        // Active sensor count plateaus: the last cycle's active count is
+        // within 40% of the first cycle's (no runaway growth).
+        let first_active = t.rows[0][2];
+        let last_active = t.rows[ROUNDS - 1][2];
+        assert!(
+            last_active < first_active * 1.4,
+            "active sensors must plateau: {first_active} -> {last_active}"
+        );
+        // Cumulative grows monotonically (dead sensors accumulate).
+        for w in t.rows.windows(2) {
+            assert!(w[1][3] >= w[0][3]);
+        }
+        // Per-cycle repair cost stays bounded: max ≤ 4× min over cycles
+        // (positions vary, so some slack).
+        let costs: Vec<f64> = t.rows.iter().map(|r| r[1]).collect();
+        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = costs.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
+        assert!(max / min < 6.0, "repair cost unstable: {costs:?}");
+    }
+
+    #[test]
+    fn disaster_centers_are_deterministic_and_spread() {
+        let params = ExpParams::quick();
+        let a = disaster_center(&params, 5, 0);
+        let b = disaster_center(&params, 5, 0);
+        assert_eq!(a, b);
+        let centers: Vec<Point> = (0..ROUNDS)
+            .map(|i| disaster_center(&params, 5, i))
+            .collect();
+        let distinct = centers
+            .iter()
+            .map(|p| (p.x as i64, p.y as i64))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            distinct.len() >= ROUNDS - 1,
+            "centers must vary: {centers:?}"
+        );
+        for c in centers {
+            assert!(params.field().contains(c));
+        }
+    }
+}

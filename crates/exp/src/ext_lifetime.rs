@@ -1,0 +1,107 @@
+//! Extension experiment — network lifetime vs k (the paper's motivation
+//! #3, not evaluated in its §4).
+//!
+//! "When k nodes are covering a point, we have the option of putting some
+//! of them to sleep ... k-coverage leads to significant energy savings
+//! and increases the lifetime for the network." We quantify that: deploy
+//! for k, split the deployment into disjoint 1-covering sleep shifts,
+//! duty-cycle them, and measure how much longer 1-coverage survives
+//! compared to leaving every node awake. Expectation: the extension
+//! factor tracks k (each extra layer of coverage becomes another shift).
+
+use crate::common::{deploy, ExpParams};
+use crate::stats::mean;
+use crate::table::Table;
+use decor_core::parallel::run_replicas;
+use decor_core::SchemeKind;
+use decor_geom::Point;
+use decor_net::{Network, SleepScheduler};
+
+/// The k values swept.
+pub const KS: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// Battery model of the lifetime simulation (abstract units).
+pub const BATTERY: f64 = 60.0;
+/// Energy drained per awake period.
+pub const AWAKE_COST: f64 = 1.0;
+/// Energy drained per sleeping period.
+pub const SLEEP_COST: f64 = 0.02;
+
+/// Runs the experiment with the centralized deployment (the scheduler is
+/// scheme-agnostic; centralized gives the tightest deployments, making
+/// the lifetime gain a conservative estimate). Columns: k, shifts
+/// extracted, duty-cycled periods, all-awake periods, extension factor.
+pub fn run(params: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "ext_lifetime",
+        "Network lifetime extension from k-coverage sleep scheduling",
+        vec![
+            "k".into(),
+            "shifts".into(),
+            "periods_duty_cycled".into(),
+            "periods_all_awake".into(),
+            "extension_factor".into(),
+        ],
+    );
+    for &k in &KS {
+        let results = run_replicas(params.seeds, params.base_seed ^ 0x51EE9, |_, seed| {
+            let (map, _, cfg) = deploy(params, SchemeKind::Centralized, k, seed);
+            // Mirror the deployment into a network for the scheduler.
+            let mut net = Network::new(*map.field());
+            for (_, pos) in map.active_sensors() {
+                net.add_node(pos, cfg.rs, cfg.rc);
+            }
+            let pts: Vec<Point> = map.points().to_vec();
+            let report = SleepScheduler::new(1)
+                .simulate_lifetime(&net, &pts, BATTERY, AWAKE_COST, SLEEP_COST);
+            (
+                report.shifts as f64,
+                report.periods_covered as f64,
+                report.baseline_periods as f64,
+                report.extension_factor,
+            )
+        });
+        t.push_row(vec![
+            k as f64,
+            mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_extension_grows_with_k() {
+        let params = ExpParams::quick();
+        let factor = |k: u32| {
+            let results = run_replicas(params.seeds, params.base_seed, |_, seed| {
+                let (map, _, cfg) = deploy(&params, SchemeKind::Centralized, k, seed);
+                let mut net = Network::new(*map.field());
+                for (_, pos) in map.active_sensors() {
+                    net.add_node(pos, cfg.rs, cfg.rc);
+                }
+                let pts: Vec<Point> = map.points().to_vec();
+                SleepScheduler::new(1)
+                    .simulate_lifetime(&net, &pts, 30.0, 1.0, 0.02)
+                    .extension_factor
+            });
+            mean(&results)
+        };
+        let f1 = factor(1);
+        let f3 = factor(3);
+        assert!(
+            f3 > f1 + 0.5,
+            "k=3 extension ({f3:.2}x) must clearly beat k=1 ({f1:.2}x)"
+        );
+        assert!(
+            f3 >= 1.8,
+            "k=3 should at least ~double lifetime, got {f3:.2}x"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Extension — failure detection under packet loss.
+//!
+//! §2.1 concedes that "sensors are also susceptible to packet loss and
+//! link failures" but the paper never quantifies what loss does to its
+//! heartbeat failure detector (§3.2). This experiment does: deploy a
+//! k = 2 field, fail 10% of the sensors, run the detector over media with
+//! increasing packet-loss rates, and measure
+//!
+//! - the **detection rate** (real failures caught),
+//! - the **false-alarm count** (alive sensors suspected after
+//!   `timeout_periods` consecutive losses),
+//! - the **worst detection latency** in heartbeat periods.
+//!
+//! Expected: detection stays near-perfect (a dead node is silent forever,
+//! a lossy link only delays the verdict), latency creeps up, and false
+//! alarms grow roughly like `n · loss^timeout` — the knob a deployment
+//! tunes with `timeout_periods`.
+
+use crate::common::{deploy, ExpParams};
+use crate::stats::mean;
+use crate::table::Table;
+use decor_core::parallel::run_replicas;
+use decor_core::SchemeKind;
+use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network};
+
+/// Loss rates swept (percent).
+pub const LOSS_PCTS: [u32; 5] = [0, 10, 20, 30, 40];
+
+/// Heartbeat period used (ticks).
+pub const PERIOD: u64 = 1_000;
+
+/// Runs the experiment. Columns: loss %, detection rate %, false alarms,
+/// worst latency in periods.
+pub fn run(params: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "ext_loss",
+        "Heartbeat failure detection under packet loss (k=2 field, 10% node failures)",
+        vec![
+            "loss_pct".into(),
+            "detection_rate_pct".into(),
+            "false_alarms".into(),
+            "worst_latency_periods".into(),
+        ],
+    );
+    for &loss in &LOSS_PCTS {
+        let results = run_replicas(params.seeds, params.base_seed ^ 0x1055, |_, seed| {
+            let (map, _, cfg) = deploy(params, SchemeKind::Centralized, 2, seed);
+            let mut net = Network::new(*map.field());
+            for (_, pos) in map.active_sensors() {
+                net.add_node(pos, cfg.rs, cfg.rc);
+            }
+            net.set_loss(loss as f64 / 100.0, seed ^ 0xF0);
+            let victims = FailurePlan::Fraction {
+                frac: 0.1,
+                seed: seed ^ 0x0F,
+            }
+            .victims(&net);
+            let sim = HeartbeatSim::new(HeartbeatConfig {
+                period: PERIOD,
+                timeout_periods: 3,
+                seed: seed ^ 0xBEA7,
+            });
+            let fail_at = 4 * PERIOD;
+            let report = sim.run(&mut net, &victims, fail_at, fail_at + 30 * PERIOD);
+            let rate = if victims.is_empty() {
+                1.0
+            } else {
+                report.first_detection.len() as f64 / victims.len() as f64
+            };
+            let latency = report
+                .max_latency(fail_at)
+                .map(|l| l as f64 / PERIOD as f64)
+                .unwrap_or(0.0);
+            (rate * 100.0, report.false_positives.len() as f64, latency)
+        });
+        t.push_row(vec![
+            loss as f64,
+            mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_costs_false_alarms_not_detections() {
+        let params = ExpParams::quick();
+        let t = run(&params);
+        let clean = &t.rows[0];
+        let lossy = t.rows.last().unwrap();
+        // Loss-free: no false alarms, high detection.
+        assert_eq!(clean[2], 0.0, "no false alarms without loss: {t:?}");
+        assert!(clean[1] > 90.0, "detection rate {:?}", clean[1]);
+        // 40% loss: detection holds up, false alarms appear.
+        assert!(
+            lossy[1] > 85.0,
+            "detection must survive loss: {:?}",
+            lossy[1]
+        );
+        assert!(
+            lossy[2] > clean[2],
+            "false alarms must grow with loss: {t:?}"
+        );
+        // Latency non-decreasing from clean to lossy.
+        assert!(lossy[3] >= clean[3] - 0.5, "latency shape: {t:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Figures 5 and 6 — example DECOR deployment and an uncovered (disaster)
+//! area.
+//!
+//! Both are qualitative pictures in the paper; we render them as ASCII
+//! (used by `examples/deployment_map.rs`) and report summary numbers.
+
+use crate::ascii_plot::scatter2;
+use crate::common::{deploy, ExpParams};
+use crate::table::Table;
+use decor_core::SchemeKind;
+use decor_geom::{Disk, Point};
+use decor_net::FailurePlan;
+
+/// Figure 5: a grid-DECOR deployment for `k = 1`. Table columns: k,
+/// initial sensors, placed sensors, final coverage %.
+pub fn run_deployment(params: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "fig05",
+        "Example DECOR deployment (grid, small cell, k=1)",
+        vec![
+            "k".into(),
+            "initial".into(),
+            "placed".into(),
+            "coverage_pct".into(),
+        ],
+    );
+    let (map, out, cfg) = deploy(params, SchemeKind::GridSmall, 1, params.base_seed);
+    t.push_row(vec![
+        cfg.k as f64,
+        out.initial_sensors as f64,
+        out.placed.len() as f64,
+        map.fraction_k_covered(cfg.k) * 100.0,
+    ]);
+    t
+}
+
+/// The disaster disc of §4.2: radius 24 at the field center (~17% of the
+/// paper's 100×100 area).
+pub fn disaster_disk(params: &ExpParams) -> Disk {
+    Disk::new(
+        Point::new(params.field_side / 2.0, params.field_side / 2.0),
+        0.24 * params.field_side,
+    )
+}
+
+/// Figure 6: coverage state after an area failure. Table columns: k,
+/// sensors killed, % of points inside the disc, % of points still covered.
+pub fn run_disaster(params: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "fig06",
+        "Uncovered area after a disaster (disc r=0.24·side at center), k=1",
+        vec![
+            "k".into(),
+            "killed".into(),
+            "points_in_disc_pct".into(),
+            "coverage_after_pct".into(),
+        ],
+    );
+    let (mut map, _, cfg) = deploy(params, SchemeKind::GridSmall, 1, params.base_seed);
+    let disk = disaster_disk(params);
+    let in_disc = map.points().iter().filter(|&&p| disk.contains(p)).count() as f64
+        / map.n_points() as f64
+        * 100.0;
+    let killed = {
+        let sensors = map.active_sensors();
+        let victims: Vec<usize> = sensors
+            .iter()
+            .filter(|&&(_, pos)| disk.contains(pos))
+            .map(|&(sid, _)| sid)
+            .collect();
+        for &sid in &victims {
+            map.deactivate_sensor(sid);
+        }
+        victims.len()
+    };
+    t.push_row(vec![
+        cfg.k as f64,
+        killed as f64,
+        in_disc,
+        map.fraction_k_covered(cfg.k) * 100.0,
+    ]);
+    t
+}
+
+/// Figure 5 picture: approximation points as dots, sensors as `O`.
+pub fn render_deployment(params: &ExpParams) -> String {
+    let (map, _, _) = deploy(params, SchemeKind::GridSmall, 1, params.base_seed);
+    let sensors: Vec<Point> = map.active_sensors().iter().map(|&(_, p)| p).collect();
+    scatter2(&params.field(), map.points(), '.', &sensors, 'O', 72, 28)
+}
+
+/// Figure 6 picture: surviving sensors after the disaster; the hole is
+/// visible at the center.
+pub fn render_disaster(params: &ExpParams) -> String {
+    let (mut map, _, cfg) = deploy(params, SchemeKind::GridSmall, 1, params.base_seed);
+    let disk = disaster_disk(params);
+    let sensors = map.active_sensors();
+    for &(sid, pos) in &sensors {
+        if disk.contains(pos) {
+            map.deactivate_sensor(sid);
+        }
+    }
+    let _ = cfg;
+    let alive: Vec<Point> = map.active_sensors().iter().map(|&(_, p)| p).collect();
+    let covered: Vec<Point> = (0..map.n_points())
+        .filter(|&i| map.coverage(i) >= 1)
+        .map(|i| map.points()[i])
+        .collect();
+    scatter2(&params.field(), &covered, '.', &alive, 'O', 72, 28)
+}
+
+/// Applies the Fig. 6 disaster to an arbitrary map, returning victims.
+pub fn apply_disaster(
+    map: &mut decor_core::CoverageMap,
+    params: &ExpParams,
+) -> Vec<decor_core::SensorId> {
+    let disk = disaster_disk(params);
+    let _plan = FailurePlan::Area { disk }; // documented linkage to decor-net
+    let sensors = map.active_sensors();
+    let victims: Vec<usize> = sensors
+        .iter()
+        .filter(|&&(_, pos)| disk.contains(pos))
+        .map(|&(sid, _)| sid)
+        .collect();
+    for &sid in &victims {
+        map.deactivate_sensor(sid);
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_reaches_full_coverage() {
+        let t = run_deployment(&ExpParams::quick());
+        assert_eq!(t.rows[0][3], 100.0);
+        assert!(t.rows[0][2] > 0.0, "some sensors must be placed");
+    }
+
+    #[test]
+    fn disaster_uncovers_roughly_the_disc() {
+        let t = run_disaster(&ExpParams::quick());
+        let in_disc = t.rows[0][2];
+        let after = t.rows[0][3];
+        assert!((12.0..=25.0).contains(&in_disc), "disc share {in_disc}");
+        assert!(after < 100.0);
+        // The hole cannot be larger than the disc plus a sensing-radius rim.
+        assert!(after > 100.0 - in_disc - 15.0, "coverage after {after}");
+    }
+
+    #[test]
+    fn renders_contain_sensors_and_points() {
+        let p = ExpParams::quick();
+        let dep = render_deployment(&p);
+        assert!(dep.contains('O') && dep.contains('.'));
+        let dis = render_disaster(&p);
+        assert!(dis.contains('O'));
+    }
+}

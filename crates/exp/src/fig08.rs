@@ -1,0 +1,88 @@
+//! Figure 8 — "Number of nodes needed for k-coverage of the area vs. k."
+//!
+//! Expected shape (paper, k = 4): centralized 788, Voronoi big-rc ~13%
+//! above it (891), grid small-cell worst among DECOR (1196), random ~4×.
+//! All series grow roughly linearly in k (each unit of k needs another
+//! layer of disk coverage).
+
+use crate::common::{deploy, ExpParams};
+use crate::stats::mean;
+use crate::table::Table;
+use decor_core::parallel::run_replicas;
+use decor_core::SchemeKind;
+
+/// The k values swept (paper: 1..=5).
+pub const KS: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// Runs the experiment. Columns: k, then total nodes per scheme.
+pub fn run(params: &ExpParams) -> Table {
+    let mut columns = vec!["k".to_owned()];
+    columns.extend(SchemeKind::ALL.iter().map(|s| s.label().to_owned()));
+    let mut t = Table::new("fig08", "Nodes needed for 100% k-coverage vs k", columns);
+    for &k in &KS {
+        let mut row = vec![k as f64];
+        for &scheme in &SchemeKind::ALL {
+            let totals = run_replicas(
+                params.seeds,
+                params.base_seed ^ (k as u64) << 8,
+                |_, seed| {
+                    let (_, out, _) = deploy(params, scheme, k, seed);
+                    assert!(
+                        out.fully_covered,
+                        "{} failed to cover at k={k}",
+                        out.placed.len()
+                    );
+                    out.total_sensors() as f64
+                },
+            );
+            row.push(mean(&totals));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down sweep: k in {1, 2} under quick params to keep test
+    /// time sane; asserts the orderings the paper reports.
+    #[test]
+    fn orderings_match_paper_shape() {
+        let params = ExpParams::quick();
+        let mut columns = vec!["k".to_owned()];
+        columns.extend(SchemeKind::ALL.iter().map(|s| s.label().to_owned()));
+        let mut rows = Vec::new();
+        for k in [1u32, 2] {
+            let mut row = vec![k as f64];
+            for &scheme in &SchemeKind::ALL {
+                let totals = run_replicas(params.seeds, params.base_seed, |_, seed| {
+                    let (_, out, _) = deploy(&params, scheme, k, seed);
+                    out.total_sensors() as f64
+                });
+                row.push(mean(&totals));
+            }
+            rows.push(row);
+        }
+        let col = |name: &str| -> usize {
+            1 + SchemeKind::ALL
+                .iter()
+                .position(|s| s.label() == name)
+                .unwrap()
+        };
+        for row in &rows {
+            let central = row[col("Centralized")];
+            let random = row[col("Random")];
+            let vbig = row[col("Voronoi (big rc)")];
+            let gsmall = row[col("Grid (small cell)")];
+            assert!(central <= vbig + 1e-9, "centralized must be best: {row:?}");
+            assert!(random > 1.8 * central, "random must be far worse: {row:?}");
+            assert!(gsmall >= central, "grid small >= centralized: {row:?}");
+        }
+        // Node demand grows with k for every scheme.
+        for (c, (r1, r0)) in rows[1].iter().zip(&rows[0]).enumerate().skip(1) {
+            assert!(r1 > r0, "column {c} must grow with k");
+        }
+    }
+}

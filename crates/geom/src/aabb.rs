@@ -1,0 +1,224 @@
+//! Axis-aligned bounding boxes: the monitored field and grid cells.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[min.x, max.x] x [min.y, max.y]`.
+///
+/// Used for the monitored field (the paper's `100 x 100` area) and for the
+/// fixed cells of the grid-based DECOR scheme (`5 x 5` and `10 x 10`).
+/// Containment is inclusive on all edges, so adjacent grid cells share their
+/// boundary; cell *ownership* of boundary points is disambiguated by the
+/// partitioning code in `decor-core`, not here.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The square `[0, side] x [0, side]` — the paper's field with
+    /// `side = 100`.
+    pub fn square(side: f64) -> Self {
+        Aabb::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Inclusive containment test.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when the two boxes overlap (shared edges count as overlap).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// The point of the box closest to `p` (i.e. `p` clamped to the box).
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Distance from `p` to the box (zero when inside).
+    #[inline]
+    pub fn dist_to(&self, p: Point) -> f64 {
+        self.clamp(p).dist(p)
+    }
+
+    /// Expands every side outward by `margin` (inward if negative).
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Maps a unit-square point `(u, v) ∈ [0,1]²` into this box.
+    ///
+    /// This is how low-discrepancy sequences (generated on the unit square)
+    /// are stretched over the monitored field.
+    #[inline]
+    pub fn from_unit(&self, u: f64, v: f64) -> Point {
+        Point::new(
+            self.min.x + u * self.width(),
+            self.min.y + v * self.height(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let b = Aabb::new(Point::new(5.0, -1.0), Point::new(1.0, 3.0));
+        assert_eq!(b.min, Point::new(1.0, -1.0));
+        assert_eq!(b.max, Point::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn square_dimensions() {
+        let f = Aabb::square(100.0);
+        assert_eq!(f.width(), 100.0);
+        assert_eq!(f.height(), 100.0);
+        assert_eq!(f.area(), 10_000.0);
+        assert_eq!(f.center(), Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn containment_is_inclusive() {
+        let b = Aabb::square(10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(b.contains(Point::new(5.0, 5.0)));
+        assert!(!b.contains(Point::new(10.0001, 5.0)));
+        assert!(!b.contains(Point::new(-0.0001, 5.0)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_boxes() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = Aabb::new(Point::new(2.0, 1.0), Point::new(6.0, 3.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new(Point::new(2.0, 1.0), Point::new(4.0, 3.0)));
+        assert!(a.intersects(&b) && b.intersects(&a));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Aabb::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn edge_sharing_boxes_intersect() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Aabb::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.width(), 0.0);
+    }
+
+    #[test]
+    fn clamp_and_distance() {
+        let b = Aabb::square(10.0);
+        assert_eq!(b.clamp(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+        assert_eq!(b.clamp(Point::new(-3.0, 4.0)), Point::new(0.0, 4.0));
+        assert_eq!(b.dist_to(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(b.dist_to(Point::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = Aabb::square(10.0).inflate(2.0);
+        assert_eq!(b.min, Point::new(-2.0, -2.0));
+        assert_eq!(b.max, Point::new(12.0, 12.0));
+    }
+
+    #[test]
+    fn corners_are_ccw() {
+        let c = Aabb::square(1.0).corners();
+        // Shoelace area of CCW polygon is positive.
+        let mut area = 0.0;
+        for i in 0..4 {
+            let a = c[i];
+            let b = c[(i + 1) % 4];
+            area += a.cross(b);
+        }
+        assert!(area > 0.0);
+    }
+
+    #[test]
+    fn from_unit_maps_corners() {
+        let b = Aabb::new(Point::new(10.0, 20.0), Point::new(30.0, 60.0));
+        assert_eq!(b.from_unit(0.0, 0.0), b.min);
+        assert_eq!(b.from_unit(1.0, 1.0), b.max);
+        assert_eq!(b.from_unit(0.5, 0.5), b.center());
+    }
+}

@@ -1,0 +1,371 @@
+//! A uniform hash-grid spatial index over points in the plane.
+//!
+//! Coverage counting and benefit evaluation in DECOR repeatedly ask
+//! "which approximation points / sensors lie within radius `r` of `q`?".
+//! With 2000 field points and thousands of sensors, brute force is O(n)
+//! per query; this bucket grid answers in O(1) expected time because the
+//! query radius (`rs = 4`) is fixed and small relative to the field.
+//!
+//! The index stores opaque `usize` ids alongside positions so callers can
+//! index back into their own arrays (points, sensors, ...). Removal is
+//! supported (sensors fail), implemented as a swap-remove inside the
+//! bucket, so ids must stay unique while inserted.
+
+use crate::point::Point;
+
+/// Uniform bucket grid over a bounded region of the plane.
+///
+/// The grid covers all of ℝ² (out-of-range coordinates clamp to the edge
+/// buckets), but it is sized from an expected bounding region to pick a
+/// sensible bucket edge length.
+///
+/// ```
+/// use decor_geom::{GridIndex, Point};
+///
+/// let mut idx = GridIndex::for_square_field(100.0, 4.0);
+/// idx.insert(0, Point::new(10.0, 10.0));
+/// idx.insert(1, Point::new(13.0, 10.0));
+/// idx.insert(2, Point::new(90.0, 90.0));
+/// assert_eq!(idx.within(Point::new(11.0, 10.0), 4.0), vec![0, 1]);
+/// assert_eq!(idx.count_within(Point::new(90.0, 90.0), 1.0), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    origin: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<(usize, Point)>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an index for points expected to fall in the box
+    /// `[origin, origin + extent]`, with bucket edge `cell`.
+    ///
+    /// Pick `cell` close to the typical query radius: queries then touch at
+    /// most ~9 buckets. Panics if `cell` or either extent is not positive.
+    pub fn new(origin: Point, extent: (f64, f64), cell: f64) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "bucket edge must be positive"
+        );
+        assert!(
+            extent.0 > 0.0 && extent.1 > 0.0,
+            "index extent must be positive"
+        );
+        let nx = (extent.0 / cell).ceil().max(1.0) as usize;
+        let ny = (extent.1 / cell).ceil().max(1.0) as usize;
+        GridIndex {
+            origin,
+            cell,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+            len: 0,
+        }
+    }
+
+    /// Convenience constructor for the DECOR field `[0, side]²` with bucket
+    /// edge equal to the sensing radius.
+    pub fn for_square_field(side: f64, query_radius: f64) -> Self {
+        GridIndex::new(Point::ORIGIN, (side, side), query_radius.max(1e-9))
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_coords(&self, p: Point) -> (usize, usize) {
+        let bx = ((p.x - self.origin.x) / self.cell).floor();
+        let by = ((p.y - self.origin.y) / self.cell).floor();
+        let bx = (bx.max(0.0) as usize).min(self.nx - 1);
+        let by = (by.max(0.0) as usize).min(self.ny - 1);
+        (bx, by)
+    }
+
+    #[inline]
+    fn bucket_of(&self, p: Point) -> usize {
+        let (bx, by) = self.bucket_coords(p);
+        by * self.nx + bx
+    }
+
+    /// Inserts `id` at position `p`. Ids are caller-managed; inserting the
+    /// same id twice without removing it first leaves two entries.
+    pub fn insert(&mut self, id: usize, p: Point) {
+        debug_assert!(p.is_finite(), "cannot index a non-finite point");
+        let b = self.bucket_of(p);
+        self.buckets[b].push((id, p));
+        self.len += 1;
+    }
+
+    /// Removes the entry for `id` previously inserted at `p`.
+    ///
+    /// Returns `true` when an entry was found and removed. `p` must be the
+    /// exact position used at insertion (it selects the bucket).
+    pub fn remove(&mut self, id: usize, p: Point) -> bool {
+        let b = self.bucket_of(p);
+        let bucket = &mut self.buckets[b];
+        if let Some(i) = bucket.iter().position(|&(eid, _)| eid == id) {
+            bucket.swap_remove(i);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Calls `f(id, position)` for every entry within distance `r` of `q`
+    /// (boundary inclusive).
+    pub fn for_each_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, mut f: F) {
+        let r_sq = r * r;
+        let (bx0, by0) = self.bucket_coords(Point::new(q.x - r, q.y - r));
+        let (bx1, by1) = self.bucket_coords(Point::new(q.x + r, q.y + r));
+        for by in by0..=by1 {
+            let row = by * self.nx;
+            for bx in bx0..=bx1 {
+                for &(id, p) in &self.buckets[row + bx] {
+                    if q.dist_sq(p) <= r_sq {
+                        f(id, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the ids of all entries within distance `r` of `q`.
+    pub fn within(&self, q: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(q, r, |id, _| out.push(id));
+        out
+    }
+
+    /// Counts entries within distance `r` of `q`.
+    pub fn count_within(&self, q: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(q, r, |_, _| n += 1);
+        n
+    }
+
+    /// Nearest entry to `q`, or `None` when empty.
+    ///
+    /// Expands the bucket search ring by ring, so it is fast when a nearby
+    /// entry exists and degrades to a full scan otherwise.
+    pub fn nearest(&self, q: Point) -> Option<(usize, Point, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (qbx, qby) = self.bucket_coords(q);
+        let max_ring = self.nx.max(self.ny);
+        let mut best: Option<(usize, Point, f64)> = None;
+        for ring in 0..=max_ring {
+            // Scan all buckets at Chebyshev distance `ring` from (qbx, qby).
+            let x0 = qbx.saturating_sub(ring);
+            let x1 = (qbx + ring).min(self.nx - 1);
+            let y0 = qby.saturating_sub(ring);
+            let y1 = (qby + ring).min(self.ny - 1);
+            for by in y0..=y1 {
+                for bx in x0..=x1 {
+                    let on_ring = bx == x0 || bx == x1 || by == y0 || by == y1;
+                    if ring > 0 && !on_ring {
+                        continue;
+                    }
+                    for &(id, p) in &self.buckets[by * self.nx + bx] {
+                        let d = q.dist_sq(p);
+                        if best.is_none_or(|(_, _, bd)| d < bd) {
+                            best = Some((id, p, d));
+                        }
+                    }
+                }
+            }
+            if let Some((_, _, bd)) = best {
+                // Entries outside ring+1 are at least `ring * cell` away;
+                // once the best found beats that bound, stop.
+                let safe = ring as f64 * self.cell;
+                if bd.sqrt() <= safe {
+                    break;
+                }
+            }
+        }
+        best.map(|(id, p, d)| (id, p, d.sqrt()))
+    }
+
+    /// Iterates over all stored entries (bucket order, not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Point)> + '_ {
+        self.buckets.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(pts: &[(usize, Point)], q: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = pts
+            .iter()
+            .filter(|&&(_, p)| q.dist_sq(p) <= r * r)
+            .map(|&(id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn sample_points() -> Vec<(usize, Point)> {
+        // Deterministic pseudo-random scatter via a simple LCG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut pts = Vec::new();
+        for id in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            pts.push((id, Point::new(x, y)));
+        }
+        pts
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        for &(_, q) in pts.iter().step_by(17) {
+            for r in [0.5, 4.0, 12.0, 60.0] {
+                let mut got = idx.within(q, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, q, r), "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_within_len() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        let q = Point::new(50.0, 50.0);
+        assert_eq!(idx.count_within(q, 10.0), idx.within(q, 10.0).len());
+    }
+
+    #[test]
+    fn query_outside_field_clamps_safely() {
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        idx.insert(0, Point::new(0.5, 0.5));
+        idx.insert(1, Point::new(99.5, 99.5));
+        // Query centered outside the field must still find edge points.
+        assert_eq!(idx.within(Point::new(-3.0, -3.0), 6.0), vec![0]);
+        assert_eq!(idx.within(Point::new(105.0, 105.0), 9.0), vec![1]);
+    }
+
+    #[test]
+    fn insert_outside_field_clamps_to_edge_bucket() {
+        let mut idx = GridIndex::for_square_field(10.0, 2.0);
+        idx.insert(7, Point::new(-5.0, 15.0));
+        let got = idx.within(Point::new(-5.0, 15.0), 0.1);
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        assert_eq!(idx.len(), 500);
+        // Remove every third point.
+        for &(id, p) in pts.iter().step_by(3) {
+            assert!(idx.remove(id, p));
+        }
+        assert!(!idx.remove(0, pts[0].1), "double remove must fail");
+        let remaining: Vec<(usize, Point)> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        assert_eq!(idx.len(), remaining.len());
+        let q = Point::new(30.0, 70.0);
+        let mut got = idx.within(q, 25.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&remaining, q, 25.0));
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(99.0, 1.0),
+            Point::new(-20.0, 120.0),
+        ] {
+            let (_, got_p, got_d) = idx.nearest(q).unwrap();
+            let best = pts
+                .iter()
+                .map(|&(_, p)| q.dist(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got_d - best).abs() < 1e-12, "q={q}");
+            assert!((q.dist(got_p) - best).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let idx = GridIndex::for_square_field(100.0, 4.0);
+        assert!(idx.nearest(Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_in_sparse_index_crosses_many_rings() {
+        let mut idx = GridIndex::for_square_field(100.0, 1.0);
+        idx.insert(42, Point::new(95.0, 95.0));
+        let (id, _, d) = idx.nearest(Point::new(2.0, 2.0)).unwrap();
+        assert_eq!(id, 42);
+        assert!((d - Point::new(2.0, 2.0).dist(Point::new(95.0, 95.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut idx = GridIndex::for_square_field(10.0, 1.0);
+        idx.insert(1, Point::new(1.0, 1.0));
+        idx.insert(2, Point::new(9.0, 9.0));
+        let mut ids: Vec<usize> = idx.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn boundary_radius_is_inclusive() {
+        let mut idx = GridIndex::for_square_field(10.0, 1.0);
+        idx.insert(0, Point::new(5.0, 5.0));
+        assert_eq!(idx.within(Point::new(5.0, 9.0), 4.0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket edge must be positive")]
+    fn zero_cell_panics() {
+        let _ = GridIndex::new(Point::ORIGIN, (10.0, 10.0), 0.0);
+    }
+}

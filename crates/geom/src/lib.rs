@@ -1,0 +1,45 @@
+//! Geometry substrate for the DECOR reproduction.
+//!
+//! The DECOR paper (Drougas & Kalogeraki, IPDPS 2007) reduces sensor-network
+//! coverage restoration to planar geometry: sensors are disks of radius
+//! `rs`, the monitored field is an axis-aligned rectangle, cells are either
+//! grid rectangles or local Voronoi regions, and connectivity is a unit-disk
+//! graph over the communication radius `rc`. This crate provides those
+//! primitives:
+//!
+//! - [`Point`] / [`Aabb`] / [`Disk`] — basic planar types.
+//! - [`GridIndex`] — a uniform hash-grid spatial index answering
+//!   radius queries in O(1) expected time; the workhorse behind coverage
+//!   counting and benefit evaluation.
+//! - [`ConvexPolygon`] and half-plane clipping — exact local Voronoi cells.
+//! - [`local_voronoi_cell`] — the cell of Definition 1 in the paper: the
+//!   region of points closer to a node than to any of its 1-hop neighbors.
+//! - [`UnitDiskGraph`] — communication graph, BFS connectivity and
+//!   Menger-style vertex k-connectivity checks (for the paper's corollary
+//!   that `rc >= 2*rs` plus k-coverage implies k-connectivity).
+//!
+//! All coordinates are `f64`. Determinism matters for the reproduction, so
+//! no operation here consults a random source.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod delaunay;
+pub mod disk;
+pub mod graph;
+pub mod grid_index;
+pub mod paths;
+pub mod point;
+pub mod polygon;
+pub mod voronoi;
+
+pub use aabb::Aabb;
+pub use delaunay::{cell_area_cv, Delaunay};
+pub use disk::Disk;
+pub use graph::UnitDiskGraph;
+pub use grid_index::GridIndex;
+pub use paths::{best_support_path, maximal_breach_path, CrossingPath};
+pub use point::Point;
+pub use polygon::{ConvexPolygon, HalfPlane};
+pub use voronoi::local_voronoi_cell;

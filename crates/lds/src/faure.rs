@@ -1,0 +1,119 @@
+//! The 2-D Faure sequence (extension beyond the paper).
+//!
+//! Faure sequences use one prime base `b >= d` for *all* dimensions;
+//! dimension `j` applies the `j`-th power of the Pascal matrix (mod `b`)
+//! to the digit vector before mirroring. In 2-D with `b = 2`, dimension 0
+//! is the plain van der Corput sequence and dimension 1 scrambles digits
+//! with Pascal's triangle mod 2 (the Sierpiński pattern). Faure sets are
+//! (0, s)-sequences — the strongest equidistribution class — and serve as
+//! another reference generator in the approximation ablations.
+
+/// Maximum number of base-2 digits processed (f64 mantissa budget).
+const DIGITS: usize = 52;
+
+/// The `i`-th element of the 2-D Faure sequence (base 2).
+///
+/// Element 0 is `(0, 0)`; callers typically start at index 1, as with
+/// Halton.
+pub fn faure2d(i: u64) -> (f64, f64) {
+    // Digit vector of i, least-significant first.
+    let mut digits = [0u8; DIGITS];
+    let mut v = i;
+    let mut n = 0;
+    while v > 0 && n < DIGITS {
+        digits[n] = (v & 1) as u8;
+        v >>= 1;
+        n += 1;
+    }
+    // Dimension 0: plain radical inverse.
+    let mut x = 0.0;
+    let mut scale = 0.5;
+    for &d in digits.iter().take(n) {
+        x += d as f64 * scale;
+        scale *= 0.5;
+    }
+    // Dimension 1: y digits = Pascal matrix (mod 2) times digit vector.
+    // Pascal mod 2: C(r, c) mod 2 = 1 iff (c & r) == c (Lucas' theorem),
+    // with y_r = Σ_c C(c, r)·digit_c mod 2 for c >= r.
+    let mut y = 0.0;
+    scale = 0.5;
+    for r in 0..n {
+        let mut bit = 0u8;
+        for (c, &d) in digits.iter().enumerate().take(n).skip(r) {
+            // C(c, r) mod 2 == 1 iff r's bits are a subset of c's bits.
+            if d == 1 && (c & r) == r {
+                bit ^= 1;
+            }
+        }
+        y += bit as f64 * scale;
+        scale *= 0.5;
+    }
+    (x, y)
+}
+
+/// The first `n` Faure points (indices `1..=n`, skipping the origin).
+pub fn faure_unit(n: usize) -> Vec<(f64, f64)> {
+    (1..=n as u64).map(faure2d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrepancy::star_discrepancy;
+    use crate::random::random_unit;
+
+    #[test]
+    fn first_dimension_is_van_der_corput() {
+        for i in 0..256 {
+            let (x, _) = faure2d(i);
+            assert_eq!(x, crate::vdc::radical_inverse(i, 2), "index {i}");
+        }
+    }
+
+    #[test]
+    fn known_small_elements() {
+        // i=1: digits [1]; x = 1/2; y_0 = C(0,0)*1 = 1 -> y = 1/2.
+        assert_eq!(faure2d(1), (0.5, 0.5));
+        // i=2: digits [0,1]; x = 1/4; y_0 = C(1,0)*1 = 1, y_1 = C(1,1)*1 = 1
+        // -> y = 1/2 + 1/4 = 3/4.
+        assert_eq!(faure2d(2), (0.25, 0.75));
+        // i=3: digits [1,1]; x = 3/4; y_0 = C(0,0)+C(1,0) = 0, y_1 = C(1,1) = 1
+        // -> y = 1/4.
+        assert_eq!(faure2d(3), (0.75, 0.25));
+    }
+
+    #[test]
+    fn points_stay_in_unit_square_and_distinct() {
+        let pts = faure_unit(2048);
+        for &(x, y) in &pts {
+            assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+        }
+        let mut sorted = pts;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 2048);
+    }
+
+    #[test]
+    fn faure_has_low_discrepancy() {
+        let n = 256;
+        let df = star_discrepancy(&faure_unit(n));
+        let dr = star_discrepancy(&random_unit(n, 5));
+        assert!(df < dr, "faure {df} must beat random {dr}");
+        // (0, s)-sequence quality: comparable to Halton.
+        let dh = star_discrepancy(&crate::halton::HaltonSequence::new(2).take_unit2(n));
+        assert!(df < 2.0 * dh, "faure {df} should be in halton's class {dh}");
+    }
+
+    #[test]
+    fn power_of_two_blocks_are_balanced() {
+        // (0, 2)-sequence in base 2: every elementary dyadic box of area
+        // 2^-m holds exactly one point from each block of 2^m points.
+        // Check halves for the first full block after the origin skip.
+        let pts: Vec<(f64, f64)> = (0..256u64).map(faure2d).collect();
+        let left = pts.iter().filter(|&&(x, _)| x < 0.5).count();
+        let bottom = pts.iter().filter(|&&(_, y)| y < 0.5).count();
+        assert_eq!(left, 128);
+        assert_eq!(bottom, 128);
+    }
+}

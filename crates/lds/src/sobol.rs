@@ -1,0 +1,128 @@
+//! A 2-D Sobol sequence (extension beyond the paper, used in ablations).
+//!
+//! Dimension 0 is the base-2 van der Corput sequence; dimension 1 uses the
+//! classic direction numbers from the primitive polynomial `x² + x + 1`
+//! with initial direction number `m₁ = 1`. Implemented with the Gray-code
+//! incremental construction, so generating `n` points costs O(n).
+
+/// Incremental 2-D Sobol generator.
+///
+/// ```
+/// use decor_lds::Sobol2D;
+/// let pts = Sobol2D::new().take(4);
+/// assert_eq!(pts[0], (0.5, 0.5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sobol2D {
+    index: u64,
+    x: u64,
+    y: u64,
+    v1: [u64; 64],
+    v2: [u64; 64],
+}
+
+const BITS: u32 = 52; // keep within f64 mantissa precision
+
+impl Default for Sobol2D {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sobol2D {
+    /// A fresh generator positioned before the first element.
+    pub fn new() -> Self {
+        let mut v1 = [0u64; 64];
+        let mut v2 = [0u64; 64];
+        // Dimension 1: van der Corput — v_j = 2^(BITS - j).
+        for (j, v) in v1.iter_mut().enumerate().take(BITS as usize) {
+            *v = 1u64 << (BITS - 1 - j as u32);
+        }
+        // Dimension 2: polynomial x^2 + x + 1 (degree s=2, a=1), m = [1, 3].
+        let mut m = [0u64; 64];
+        m[0] = 1;
+        m[1] = 3;
+        for j in 2..BITS as usize {
+            // Recurrence: m_j = 2*a1*m_{j-1} XOR (4 * m_{j-2}) XOR m_{j-2}
+            m[j] = (2 * m[j - 1]) ^ (4 * m[j - 2]) ^ m[j - 2];
+        }
+        for j in 0..BITS as usize {
+            v2[j] = m[j] << (BITS - 1 - j as u32);
+        }
+        Sobol2D {
+            index: 0,
+            x: 0,
+            y: 0,
+            v1,
+            v2,
+        }
+    }
+
+    /// The next point of the sequence.
+    pub fn next_point(&mut self) -> (f64, f64) {
+        // Gray-code order: flip the direction number of the lowest zero bit
+        // of the running index.
+        let c = self.index.trailing_ones() as usize;
+        debug_assert!(c < BITS as usize, "sobol index exhausted");
+        self.x ^= self.v1[c];
+        self.y ^= self.v2[c];
+        self.index += 1;
+        let scale = 1.0 / (1u64 << BITS) as f64;
+        (self.x as f64 * scale, self.y as f64 * scale)
+    }
+
+    /// The first `n` points of a fresh run of the sequence.
+    pub fn take(mut self, n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        // Gray-code ordering: the first three points match the natural
+        // order, the fourth is the Gray-code successor of (0.25, 0.75).
+        let pts = Sobol2D::new().take(4);
+        assert_eq!(pts[0], (0.5, 0.5));
+        assert_eq!(pts[1], (0.75, 0.25));
+        assert_eq!(pts[2], (0.25, 0.75));
+        assert_eq!(pts[3], (0.375, 0.625));
+    }
+
+    #[test]
+    fn values_in_unit_square() {
+        for (u, v) in Sobol2D::new().take(4096) {
+            assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        let mut pts = Sobol2D::new().take(4096);
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pts.dedup();
+        assert_eq!(pts.len(), 4096);
+    }
+
+    #[test]
+    fn power_of_two_blocks_are_balanced() {
+        // Sobol is a (t, m, 2)-net in base 2: each block of 2^m points puts
+        // 2^(m-1) points in each half of the square. Our stream starts at
+        // index 1 (skipping the all-zeros point), shifting counts by at
+        // most one.
+        let pts = Sobol2D::new().take(256);
+        let left = pts.iter().filter(|&&(u, _)| u < 0.5).count();
+        let bottom = pts.iter().filter(|&&(_, v)| v < 0.5).count();
+        assert!((127..=129).contains(&left), "left half count {left}");
+        assert!((127..=129).contains(&bottom), "bottom half count {bottom}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(Sobol2D::new().take(100), Sobol2D::new().take(100));
+    }
+}

@@ -1,0 +1,362 @@
+//! The heartbeat failure detector of §3.2.
+//!
+//! "Neighboring nodes periodically exchange meta-information about their
+//! positions, with a period `Tc`. Once a node stops receiving such messages
+//! from one of its neighbors, this indicates that the neighbor has failed.
+//! The nodes do not need to be synchronized."
+//!
+//! [`HeartbeatSim`] runs that protocol on the discrete-event engine: every
+//! alive node broadcasts a heartbeat each period (with a per-node random
+//! phase — *unsynchronized*), remembers when it last heard each neighbor,
+//! and declares a neighbor failed after `timeout_periods` silent periods.
+
+use crate::event::{EventQueue, Time};
+use crate::messages::Message;
+use crate::network::Network;
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Heartbeat protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Heartbeat period `Tc` in ticks.
+    pub period: Time,
+    /// A neighbor is declared failed after this many silent periods.
+    /// Must be at least 2 (one period of silence can be pure phase skew).
+    pub timeout_periods: u32,
+    /// Seed for the per-node phase jitter.
+    pub seed: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: 1_000,
+            timeout_periods: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a detection simulation.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionReport {
+    /// For every failed node that was detected: the earliest detection
+    /// time and the detecting observer.
+    pub first_detection: BTreeMap<NodeId, (Time, NodeId)>,
+    /// Failed nodes that no alive neighbor ever detected (isolated nodes).
+    pub undetected: Vec<NodeId>,
+    /// Nodes suspected failed that were actually alive, with the earliest
+    /// suspicion time and observer. Empty on a loss-free medium; on a
+    /// lossy one, `timeout_periods` consecutively lost heartbeats trigger
+    /// a false alarm (probability `loss^timeout` per window).
+    pub false_positives: BTreeMap<NodeId, (Time, NodeId)>,
+    /// Heartbeat messages broadcast during the run.
+    pub heartbeats_sent: u64,
+}
+
+impl DetectionReport {
+    /// Worst-case detection latency relative to the failure instant,
+    /// `None` when nothing was detected.
+    pub fn max_latency(&self, fail_at: Time) -> Option<Time> {
+        self.first_detection
+            .values()
+            .map(|&(t, _)| t.saturating_sub(fail_at))
+            .max()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Node broadcasts its heartbeat and reschedules.
+    Beat(NodeId),
+    /// Node scans its neighbor table for silent neighbors.
+    Check(NodeId),
+    /// The failure instant: victims drop out of the network.
+    Fail,
+}
+
+/// Discrete-event heartbeat detector simulation.
+pub struct HeartbeatSim {
+    cfg: HeartbeatConfig,
+}
+
+impl HeartbeatSim {
+    /// Creates a simulator with the given configuration.
+    ///
+    /// Panics if `timeout_periods < 2` — with unsynchronized phases a
+    /// single silent period cannot distinguish skew from failure.
+    pub fn new(cfg: HeartbeatConfig) -> Self {
+        assert!(cfg.period > 0, "heartbeat period must be positive");
+        assert!(
+            cfg.timeout_periods >= 2,
+            "timeout must span at least 2 periods to tolerate phase skew"
+        );
+        HeartbeatSim { cfg }
+    }
+
+    /// Runs the protocol on `net`: heartbeats start at time 0, the nodes in
+    /// `victims` fail at `fail_at`, and the simulation ends at `horizon`.
+    ///
+    /// Returns who detected which failure and when. The network is mutated
+    /// (victims fail, heartbeat traffic is accounted in `net.stats`).
+    pub fn run(
+        &self,
+        net: &mut Network,
+        victims: &[NodeId],
+        fail_at: Time,
+        horizon: Time,
+    ) -> DetectionReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let period = self.cfg.period;
+        let timeout = period * self.cfg.timeout_periods as Time;
+
+        // Neighbor tables and last-heard clocks, established by an initial
+        // hello exchange at t=0 (charged to the maintenance plane).
+        let ids = net.alive_ids();
+        let mut last_heard: BTreeMap<(NodeId, NodeId), Time> = BTreeMap::new();
+        let mut watch: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for &id in &ids {
+            let pos = net.node(id).pos;
+            let heard_by = net.broadcast(id, Message::Hello { pos });
+            for observer in heard_by {
+                last_heard.insert((observer, id), 0);
+                watch.entry(observer).or_default().push(id);
+            }
+        }
+
+        // Unsynchronized start: each node's first beat at a random phase.
+        for &id in &ids {
+            let phase = rng.gen_range(0..period);
+            q.schedule(phase, Ev::Beat(id));
+            q.schedule(phase + period, Ev::Check(id));
+        }
+        q.schedule(fail_at, Ev::Fail);
+
+        let mut report = DetectionReport::default();
+        let mut detected: BTreeMap<NodeId, (Time, NodeId)> = BTreeMap::new();
+
+        while let Some((now, ev)) = q.pop() {
+            if now > horizon {
+                break;
+            }
+            match ev {
+                Ev::Fail => {
+                    for &v in victims {
+                        net.fail_node(v);
+                    }
+                }
+                Ev::Beat(id) => {
+                    if !net.is_alive(id) {
+                        continue; // dead nodes stop beating — that is the signal
+                    }
+                    let pos = net.node(id).pos;
+                    let heard_by = net.broadcast(id, Message::Heartbeat { pos });
+                    report.heartbeats_sent += 1;
+                    for observer in heard_by {
+                        last_heard.insert((observer, id), now);
+                    }
+                    q.schedule(now + period, Ev::Beat(id));
+                }
+                Ev::Check(id) => {
+                    if !net.is_alive(id) {
+                        continue;
+                    }
+                    if let Some(neighbors) = watch.get(&id) {
+                        for &nb in neighbors {
+                            // Suspicion is based purely on silence: the
+                            // observer cannot consult ground truth. On a
+                            // lossy medium this can misfire on alive
+                            // neighbors (classified below).
+                            let last = last_heard.get(&(id, nb)).copied().unwrap_or(0);
+                            if now.saturating_sub(last) >= timeout {
+                                detected.entry(nb).or_insert((now, id));
+                            }
+                        }
+                    }
+                    q.schedule(now + period, Ev::Check(id));
+                }
+            }
+        }
+
+        report.undetected = victims
+            .iter()
+            .copied()
+            .filter(|v| !detected.contains_key(v))
+            .collect();
+        // Classify suspicions: real failures vs false alarms. A suspicion
+        // of a node that is alive at the end of the run (i.e. never in
+        // `victims`) is a false positive.
+        let victim_set: std::collections::BTreeSet<NodeId> = victims.iter().copied().collect();
+        for (nb, when) in detected {
+            if victim_set.contains(&nb) {
+                report.first_detection.insert(nb, when);
+            } else {
+                report.false_positives.insert(nb, when);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::{Aabb, Point};
+
+    fn line_network(n: usize, spacing: f64) -> Network {
+        let mut net = Network::new(Aabb::square(100.0));
+        for i in 0..n {
+            net.add_node(Point::new(5.0 + i as f64 * spacing, 50.0), 4.0, 8.0);
+        }
+        net
+    }
+
+    fn cfg(seed: u64) -> HeartbeatConfig {
+        HeartbeatConfig {
+            period: 100,
+            timeout_periods: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn failed_node_is_detected_by_neighbors() {
+        let mut net = line_network(3, 5.0);
+        let sim = HeartbeatSim::new(cfg(1));
+        let report = sim.run(&mut net, &[1], 500, 2000);
+        assert!(report.first_detection.contains_key(&1));
+        assert!(report.undetected.is_empty());
+        let (t, observer) = report.first_detection[&1];
+        assert!(t > 500, "detection after the failure instant");
+        assert!(observer == 0 || observer == 2);
+    }
+
+    #[test]
+    fn detection_latency_is_bounded_by_timeout_plus_period() {
+        let mut net = line_network(5, 5.0);
+        let sim = HeartbeatSim::new(cfg(2));
+        let report = sim.run(&mut net, &[2], 1000, 10_000);
+        let latency = report.max_latency(1000).expect("detected");
+        // Worst case: last beat right before failure, timeout 3 periods,
+        // check up to one period later => <= 5 periods with slack.
+        assert!(latency <= 500, "latency {latency}");
+        assert!(latency >= 200, "cannot detect faster than ~2 periods");
+    }
+
+    #[test]
+    fn no_false_positives_without_failures() {
+        let mut net = line_network(4, 5.0);
+        let sim = HeartbeatSim::new(cfg(3));
+        let report = sim.run(&mut net, &[], 500, 5000);
+        assert!(report.first_detection.is_empty());
+        assert!(report.undetected.is_empty());
+    }
+
+    #[test]
+    fn isolated_failure_goes_undetected() {
+        // Node 2 is out of everyone's range.
+        let mut net = line_network(2, 5.0);
+        net.add_node(Point::new(90.0, 90.0), 4.0, 8.0);
+        let sim = HeartbeatSim::new(cfg(4));
+        let report = sim.run(&mut net, &[2], 500, 5000);
+        assert_eq!(report.undetected, vec![2]);
+    }
+
+    #[test]
+    fn simultaneous_failures_all_detected() {
+        let mut net = line_network(6, 5.0);
+        let sim = HeartbeatSim::new(cfg(5));
+        let report = sim.run(&mut net, &[1, 3], 700, 8000);
+        assert!(report.first_detection.contains_key(&1));
+        assert!(report.first_detection.contains_key(&3));
+    }
+
+    #[test]
+    fn heartbeat_traffic_is_maintenance_plane() {
+        let mut net = line_network(3, 5.0);
+        let sim = HeartbeatSim::new(cfg(6));
+        let report = sim.run(&mut net, &[], 100, 1000);
+        assert!(report.heartbeats_sent > 0);
+        assert_eq!(net.stats.protocol_sent, 0);
+        assert!(net.stats.maintenance_sent >= report.heartbeats_sent);
+    }
+
+    #[test]
+    fn dead_nodes_send_no_heartbeats_after_failure() {
+        let mut net = line_network(2, 5.0);
+        let sim = HeartbeatSim::new(cfg(7));
+        let horizon = 10_000;
+        let report = sim.run(&mut net, &[1], 0, horizon);
+        // Node 1 fails at t=0 (before its first beat fires it may beat once
+        // if its phase event was scheduled before Fail pops — FIFO order
+        // puts Beat first only if scheduled at the same tick earlier).
+        // Either way, its beats must stop early.
+        let periods = horizon / 100;
+        assert!(
+            report.heartbeats_sent <= periods + 2,
+            "sent {} but only one node should keep beating",
+            report.heartbeats_sent
+        );
+    }
+
+    #[test]
+    fn loss_free_medium_never_false_positives() {
+        let mut net = line_network(6, 5.0);
+        let sim = HeartbeatSim::new(cfg(11));
+        let report = sim.run(&mut net, &[2], 500, 8000);
+        assert!(report.false_positives.is_empty());
+        assert!(report.first_detection.contains_key(&2));
+    }
+
+    #[test]
+    fn heavy_loss_triggers_false_positives() {
+        // 70% loss: P(3 consecutive heartbeats lost) = 0.343 per window,
+        // so over 30 periods false alarms are near-certain.
+        let mut net = line_network(8, 5.0);
+        net.set_loss(0.7, 42);
+        let sim = HeartbeatSim::new(cfg(12));
+        let report = sim.run(&mut net, &[], 500, 30_000);
+        assert!(
+            !report.false_positives.is_empty(),
+            "70% loss must cause false alarms"
+        );
+        assert!(report.first_detection.is_empty(), "nobody actually failed");
+    }
+
+    #[test]
+    fn moderate_loss_still_detects_real_failures() {
+        let mut net = line_network(6, 5.0);
+        net.set_loss(0.2, 7);
+        let sim = HeartbeatSim::new(cfg(13));
+        let report = sim.run(&mut net, &[3], 500, 10_000);
+        assert!(
+            report.first_detection.contains_key(&3),
+            "real failure must still be caught through 20% loss"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_in_seed() {
+        let run = |seed| {
+            let mut net = line_network(5, 5.0);
+            let sim = HeartbeatSim::new(cfg(seed));
+            let r = sim.run(&mut net, &[2], 500, 5000);
+            (r.first_detection, r.heartbeats_sent)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must span")]
+    fn tiny_timeout_panics() {
+        let _ = HeartbeatSim::new(HeartbeatConfig {
+            period: 10,
+            timeout_periods: 1,
+            seed: 0,
+        });
+    }
+}

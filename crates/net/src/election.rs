@@ -1,0 +1,110 @@
+//! Leader election and rotation (paper §3.1).
+//!
+//! The grid scheme needs one leader per cell. The paper delegates to known
+//! in-network algorithms (LEACH-style randomized election [6], group
+//! management [11], mobile ad-hoc election [12]) and assumes a *rotation*
+//! mechanism spreads the leader's energy burden across the cell. We model
+//! the outcome of those protocols, not their packet exchanges: a seeded
+//! random choice for the initial election, round-robin rotation thereafter.
+
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly elects a leader among `members`, deterministic in `seed`.
+///
+/// Returns `None` for an empty member set (an empty cell has no leader;
+/// the paper's fallback is a neighboring cell deploying one, handled by
+/// the grid scheme).
+pub fn elect_random(members: &[NodeId], seed: u64) -> Option<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    members.choose(&mut rng).copied()
+}
+
+/// Round-robin rotation: the leader for rotation round `round`.
+///
+/// Members are considered in sorted order so the schedule is independent
+/// of the caller's ordering; every member leads once per `members.len()`
+/// rounds, which is what equalizes per-node message load in Fig. 10's
+/// "with rotation" numbers.
+pub fn rotation_leader(members: &[NodeId], round: u64) -> Option<NodeId> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    Some(sorted[(round % sorted.len() as u64) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cell_has_no_leader() {
+        assert_eq!(elect_random(&[], 1), None);
+        assert_eq!(rotation_leader(&[], 0), None);
+    }
+
+    #[test]
+    fn random_election_is_deterministic_and_member() {
+        let members = vec![3, 7, 11, 20];
+        let a = elect_random(&members, 5).unwrap();
+        let b = elect_random(&members, 5).unwrap();
+        assert_eq!(a, b);
+        assert!(members.contains(&a));
+    }
+
+    #[test]
+    fn different_seeds_eventually_elect_differently() {
+        let members = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let distinct: std::collections::BTreeSet<NodeId> =
+            (0..32).filter_map(|s| elect_random(&members, s)).collect();
+        assert!(distinct.len() > 1, "election never varies with seed");
+    }
+
+    #[test]
+    fn rotation_cycles_through_all_members() {
+        let members = vec![9, 2, 5];
+        let schedule: Vec<NodeId> = (0..6)
+            .map(|r| rotation_leader(&members, r).unwrap())
+            .collect();
+        assert_eq!(schedule, vec![2, 5, 9, 2, 5, 9]);
+    }
+
+    #[test]
+    fn rotation_is_order_independent() {
+        let a = rotation_leader(&[4, 1, 8], 1);
+        let b = rotation_leader(&[8, 4, 1], 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotation_fairness_over_full_cycle() {
+        let members = vec![10, 20, 30, 40];
+        let mut counts = std::collections::BTreeMap::new();
+        for r in 0..400 {
+            *counts
+                .entry(rotation_leader(&members, r).unwrap())
+                .or_insert(0) += 1;
+        }
+        for (_, c) in counts {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn rotation_dedups_members() {
+        assert_eq!(rotation_leader(&[5, 5, 5], 2), Some(5));
+        assert_eq!(rotation_leader(&[2, 2, 7], 1), Some(7));
+    }
+
+    #[test]
+    fn singleton_cell_always_leads() {
+        for r in 0..5 {
+            assert_eq!(rotation_leader(&[42], r), Some(42));
+        }
+    }
+}

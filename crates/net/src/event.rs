@@ -1,0 +1,249 @@
+//! A deterministic discrete-event queue.
+//!
+//! Simulation time is an integer tick count ([`Time`]); callers choose the
+//! tick granularity (the heartbeat simulator uses 1 tick = 1 ms). Events
+//! scheduled for the same tick pop in FIFO order thanks to a monotone
+//! sequence number, which keeps runs bit-for-bit reproducible regardless of
+//! heap internals.
+
+use std::collections::BinaryHeap;
+
+/// Simulation time in ticks.
+pub type Time = u64;
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// `BinaryHeap` needs `Ord` on the stored items; [`HeapItem`] implements it
+/// manually on `(time, seq)` only, so the event payload `E` needs no
+/// ordering traits.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    seq: u64,
+    now: Time,
+}
+
+struct HeapItem<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (zero before any pop).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Panics when scheduling into the past (`at < now`): discrete-event
+    /// causality violation.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at}, simulation time is already {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapItem {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` ticks after the current time.
+    pub fn schedule_after(&mut self, delay: Time, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let item = self.heap.pop()?;
+        self.now = item.time;
+        Some((item.time, item.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|i| i.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains events in order while `f` returns `true`; stops (leaving the
+    /// rest queued) on the first `false`. Returns the number of events
+    /// processed.
+    pub fn run_while<F: FnMut(Time, E) -> bool>(&mut self, mut f: F) -> usize {
+        let mut n = 0;
+        while let Some(item) = self.heap.pop() {
+            self.now = item.time;
+            n += 1;
+            if !f(item.time, item.event) {
+                break;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(7, ());
+        q.schedule(3, ());
+        q.pop();
+        assert_eq!(q.now(), 3);
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule_after(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(4, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2));
+        // Peeking does not consume.
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn run_while_stops_on_false() {
+        let mut q = EventQueue::new();
+        for t in 1..=10 {
+            q.schedule(t, t);
+        }
+        let mut seen = Vec::new();
+        let processed = q.run_while(|_, e| {
+            seen.push(e);
+            e < 4
+        });
+        assert_eq!(processed, 4);
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.now(), 4);
+    }
+
+    #[test]
+    fn run_while_drains_everything_on_true() {
+        let mut q = EventQueue::new();
+        for t in [3, 1, 2] {
+            q.schedule(t, t);
+        }
+        let mut order = Vec::new();
+        q.run_while(|_, e| {
+            order.push(e);
+            true
+        });
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_scheduled_during_run_are_processed() {
+        // Simulates a periodic process rescheduling itself.
+        let mut q = EventQueue::new();
+        q.schedule(0, ());
+        let mut fired = Vec::new();
+        while let Some((t, ())) = q.pop() {
+            fired.push(t);
+            if t < 50 {
+                q.schedule(t + 10, ());
+            }
+        }
+        assert_eq!(fired, vec![0, 10, 20, 30, 40, 50]);
+    }
+}

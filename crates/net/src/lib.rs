@@ -1,0 +1,53 @@
+//! A wireless-sensor-network simulator substrate for DECOR.
+//!
+//! The paper evaluates DECOR "in simulation" without naming a simulator, so
+//! this crate builds the substrate its evaluation needs:
+//!
+//! - [`event`] — a deterministic discrete-event engine (integer tick clock,
+//!   binary-heap queue with stable FIFO tie-breaking);
+//! - [`node`] — sensor node state: position, sensing radius `rs`,
+//!   communication radius `rc`, alive/failed flag;
+//! - [`network`] — the network fabric: spatial-indexed neighbor lookup,
+//!   range-checked unicast/broadcast with per-node message and energy
+//!   accounting (the paper equates "messages sent" with energy dissipation
+//!   in Fig. 10);
+//! - [`messages`] — the protocol message vocabulary DECOR exchanges;
+//! - [`failure`] — failure injection: i.i.d. node failures with probability
+//!   `q`, exact random fractions, and disc-shaped *area failures* (natural
+//!   disasters, §2.1);
+//! - [`detect`] — the heartbeat failure detector of §3.2: neighbors
+//!   exchange position meta-information with period `Tc`; silence beyond a
+//!   timeout flags the neighbor as failed;
+//! - [`election`] — randomized leader election with round-robin rotation
+//!   (the paper's cited LEACH-style algorithms, abstracted);
+//! - [`energy`] — a tx/rx/idle energy model.
+//!
+//! Everything is deterministic given explicit seeds; nothing here spawns
+//! threads (parallelism lives in `decor-core::parallel`, across replicas).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod election;
+pub mod energy;
+pub mod event;
+pub mod failure;
+pub mod messages;
+pub mod network;
+pub mod node;
+pub mod reports;
+pub mod routing;
+pub mod sleep;
+
+pub use detect::{DetectionReport, HeartbeatConfig, HeartbeatSim};
+pub use election::{elect_random, rotation_leader};
+pub use energy::EnergyModel;
+pub use event::{EventQueue, Time};
+pub use failure::FailurePlan;
+pub use messages::Message;
+pub use network::{NetStats, Network, SendError};
+pub use node::{Node, NodeId};
+pub use reports::{collect_reports, sink_near, DeliveryReport};
+pub use routing::{greedy_geographic, send_routed, shortest_path};
+pub use sleep::{LifetimeReport, SleepScheduler};

@@ -1,0 +1,495 @@
+//! The network fabric: node storage, neighbor lookup, range-checked
+//! message delivery, and per-node message/energy accounting.
+
+use crate::energy::EnergyModel;
+use crate::messages::Message;
+use crate::node::{Node, NodeId};
+use decor_geom::{Aabb, GridIndex, Point};
+
+/// Per-node and aggregate traffic statistics.
+///
+/// Fig. 10 of the paper reports "messages per cell" as the energy proxy;
+/// [`NetStats`] keeps the raw counters the harness aggregates into that
+/// figure, split into protocol traffic (placement notices, elections,
+/// reports) and maintenance traffic (heartbeats, hellos).
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    energy: Vec<f64>,
+    /// Total messages sent (protocol + maintenance).
+    pub total_sent: u64,
+    /// Messages on the maintenance plane (heartbeats, hellos).
+    pub maintenance_sent: u64,
+    /// Messages of the restoration protocol itself.
+    pub protocol_sent: u64,
+}
+
+impl NetStats {
+    fn grow_to(&mut self, n: usize) {
+        self.sent.resize(n, 0);
+        self.received.resize(n, 0);
+        self.energy.resize(n, 0.0);
+    }
+
+    /// Messages sent by node `id`.
+    pub fn sent_by(&self, id: NodeId) -> u64 {
+        self.sent.get(id).copied().unwrap_or(0)
+    }
+
+    /// Messages received by node `id`.
+    pub fn received_by(&self, id: NodeId) -> u64 {
+        self.received.get(id).copied().unwrap_or(0)
+    }
+
+    /// Energy consumed by node `id`.
+    pub fn energy_of(&self, id: NodeId) -> f64 {
+        self.energy.get(id).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy consumed across the network.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+}
+
+/// Error returned by [`Network::unicast`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Sender does not exist or has failed.
+    SenderDown,
+    /// Receiver does not exist or has failed.
+    ReceiverDown,
+    /// Receiver is beyond the sender's communication radius.
+    OutOfRange,
+    /// The packet was transmitted but lost in the air (lossy medium).
+    /// The sender still paid transmission energy and counters.
+    Lost,
+}
+
+/// A wireless sensor network: nodes plus the radio medium.
+///
+/// Geometry queries (neighbors, coverage candidates) go through an internal
+/// spatial hash-grid of the *alive* nodes, so they stay O(1) expected even
+/// with thousands of sensors.
+///
+/// ```
+/// use decor_geom::{Aabb, Point};
+/// use decor_net::{Message, Network};
+///
+/// let mut net = Network::new(Aabb::square(100.0));
+/// let a = net.add_node(Point::new(10.0, 10.0), 4.0, 8.0);
+/// let b = net.add_node(Point::new(15.0, 10.0), 4.0, 8.0);
+/// assert_eq!(net.neighbors_of(a), vec![b]);
+/// net.unicast(a, b, Message::Hello { pos: Point::new(10.0, 10.0) }).unwrap();
+/// assert_eq!(net.stats.total_sent, 1);
+/// net.fail_node(b);
+/// assert!(net.neighbors_of(a).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    index: GridIndex,
+    field: Aabb,
+    energy_model: EnergyModel,
+    /// Per-packet loss probability in `[0, 1)` (0 = perfect medium).
+    loss_rate: f64,
+    /// Deterministic loss stream (splitmix-style counter mix).
+    loss_state: u64,
+    /// Traffic counters, publicly readable; mutated by `unicast`/`broadcast`.
+    pub stats: NetStats,
+}
+
+impl Network {
+    /// An empty network over `field` with the default energy model.
+    pub fn new(field: Aabb) -> Self {
+        Network::with_energy_model(field, EnergyModel::default())
+    }
+
+    /// An empty network with an explicit energy model.
+    pub fn with_energy_model(field: Aabb, energy_model: EnergyModel) -> Self {
+        let cell = (field.width().min(field.height()) / 20.0).max(1.0);
+        Network {
+            nodes: Vec::new(),
+            index: GridIndex::new(field.min, (field.width(), field.height()), cell),
+            field,
+            energy_model,
+            loss_rate: 0.0,
+            loss_state: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Enables a lossy medium: every transmission is independently lost
+    /// with probability `rate` (per receiver for broadcasts). The loss
+    /// stream is deterministic in `seed`. Panics unless `0 <= rate < 1`.
+    pub fn set_loss(&mut self, rate: f64, seed: u64) {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "loss rate must be in [0, 1), got {rate}"
+        );
+        self.loss_rate = rate;
+        self.loss_state = seed | 1;
+    }
+
+    /// Draws the next loss decision from the deterministic stream.
+    fn packet_lost(&mut self) -> bool {
+        if self.loss_rate == 0.0 {
+            return false;
+        }
+        // splitmix64 step.
+        self.loss_state = self.loss_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.loss_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < self.loss_rate
+    }
+
+    /// The monitored field.
+    pub fn field(&self) -> &Aabb {
+        &self.field
+    }
+
+    /// Adds an alive node, returning its id.
+    pub fn add_node(&mut self, pos: Point, rs: f64, rc: f64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node::new(pos, rs, rc));
+        self.index.insert(id, pos);
+        self.stats.grow_to(self.nodes.len());
+        id
+    }
+
+    /// Number of nodes ever added (alive and failed).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were ever added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// The node record for `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Is node `id` alive?
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.get(id).is_some_and(|n| n.alive)
+    }
+
+    /// Marks node `id` failed. Idempotent. Returns whether the node was
+    /// alive before the call.
+    pub fn fail_node(&mut self, id: NodeId) -> bool {
+        if self.nodes[id].alive {
+            self.nodes[id].alive = false;
+            self.index.remove(id, self.nodes[id].pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ids of all alive nodes, ascending.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive)
+            .collect()
+    }
+
+    /// Positions of all alive nodes (paired with their ids).
+    pub fn alive_positions(&self) -> Vec<(NodeId, Point)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (i, n.pos))
+            .collect()
+    }
+
+    /// Alive nodes within distance `r` of point `q` (any node's own radius
+    /// is irrelevant here — this is a pure geometric query). Sorted by id.
+    pub fn alive_within(&self, q: Point, r: f64) -> Vec<NodeId> {
+        let mut out = self.index.within(q, r);
+        out.sort_unstable();
+        out
+    }
+
+    /// 1-hop neighbors of `id`: alive nodes within *`id`'s* communication
+    /// radius, excluding `id` itself.
+    ///
+    /// With heterogeneous radii links can be asymmetric; DECOR only ever
+    /// sends over the sender's radius, which this models.
+    pub fn neighbors_of(&self, id: NodeId) -> Vec<NodeId> {
+        let n = &self.nodes[id];
+        if !n.alive {
+            return Vec::new();
+        }
+        let mut out = self.index.within(n.pos, n.rc);
+        out.retain(|&i| i != id);
+        out.sort_unstable();
+        out
+    }
+
+    /// Sends `msg` from `from` to `to`, charging energy and counters.
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, msg: Message) -> Result<(), SendError> {
+        let sender = *self.nodes.get(from).ok_or(SendError::SenderDown)?;
+        if !sender.alive {
+            return Err(SendError::SenderDown);
+        }
+        let receiver = *self.nodes.get(to).ok_or(SendError::ReceiverDown)?;
+        if !receiver.alive {
+            return Err(SendError::ReceiverDown);
+        }
+        let d = sender.pos.dist(receiver.pos);
+        if d > sender.rc {
+            return Err(SendError::OutOfRange);
+        }
+        let bytes = msg.payload_bytes();
+        // The sender transmits (and pays) regardless of whether the
+        // medium then eats the packet.
+        self.stats.sent[from] += 1;
+        self.stats.energy[from] += self.energy_model.tx_cost(bytes, d);
+        self.stats.total_sent += 1;
+        if msg.is_maintenance() {
+            self.stats.maintenance_sent += 1;
+        } else {
+            self.stats.protocol_sent += 1;
+        }
+        if self.packet_lost() {
+            return Err(SendError::Lost);
+        }
+        self.stats.received[to] += 1;
+        self.stats.energy[to] += self.energy_model.rx_cost(bytes);
+        Ok(())
+    }
+
+    /// Broadcasts `msg` from `from` at full power; every alive node within
+    /// the sender's `rc` receives it. Returns the receiver ids (sorted).
+    ///
+    /// A broadcast counts as *one* sent message (single transmission) and
+    /// one reception per receiver.
+    pub fn broadcast(&mut self, from: NodeId, msg: Message) -> Vec<NodeId> {
+        let sender = match self.nodes.get(from) {
+            Some(n) if n.alive => *n,
+            _ => return Vec::new(),
+        };
+        let mut receivers = self.index.within(sender.pos, sender.rc);
+        receivers.retain(|&i| i != from);
+        receivers.sort_unstable();
+        let bytes = msg.payload_bytes();
+        self.stats.sent[from] += 1;
+        self.stats.energy[from] += self.energy_model.tx_cost(bytes, sender.rc);
+        self.stats.total_sent += 1;
+        if msg.is_maintenance() {
+            self.stats.maintenance_sent += 1;
+        } else {
+            self.stats.protocol_sent += 1;
+        }
+        // On a lossy medium each listener drops the frame independently.
+        receivers.retain(|_| !self.packet_lost());
+        for &r in &receivers {
+            self.stats.received[r] += 1;
+            self.stats.energy[r] += self.energy_model.rx_cost(bytes);
+        }
+        receivers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net_with(positions: &[(f64, f64)], rs: f64, rc: f64) -> Network {
+        let mut net = Network::new(Aabb::square(100.0));
+        for &(x, y) in positions {
+            net.add_node(Point::new(x, y), rs, rc);
+        }
+        net
+    }
+
+    #[test]
+    fn add_and_query_nodes() {
+        let net = net_with(&[(10.0, 10.0), (20.0, 10.0)], 4.0, 8.0);
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.alive_count(), 2);
+        assert!(net.is_alive(0) && net.is_alive(1));
+        assert_eq!(net.node(1).pos, Point::new(20.0, 10.0));
+    }
+
+    #[test]
+    fn neighbors_respect_rc() {
+        let net = net_with(&[(10.0, 10.0), (17.0, 10.0), (30.0, 10.0)], 4.0, 8.0);
+        assert_eq!(net.neighbors_of(0), vec![1]);
+        assert_eq!(net.neighbors_of(1), vec![0]);
+        assert_eq!(net.neighbors_of(2), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn failed_nodes_leave_the_medium() {
+        let mut net = net_with(&[(10.0, 10.0), (17.0, 10.0)], 4.0, 8.0);
+        assert!(net.fail_node(1));
+        assert!(!net.fail_node(1), "second failure is a no-op");
+        assert_eq!(net.alive_count(), 1);
+        assert_eq!(net.neighbors_of(0), Vec::<NodeId>::new());
+        assert_eq!(net.neighbors_of(1), Vec::<NodeId>::new());
+        assert_eq!(net.alive_ids(), vec![0]);
+    }
+
+    #[test]
+    fn unicast_success_updates_stats() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        let msg = Message::PlacementNotice { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Ok(()));
+        assert_eq!(net.stats.sent_by(0), 1);
+        assert_eq!(net.stats.received_by(1), 1);
+        assert_eq!(net.stats.total_sent, 1);
+        assert_eq!(net.stats.protocol_sent, 1);
+        assert_eq!(net.stats.maintenance_sent, 0);
+        assert!(net.stats.energy_of(0) > 0.0);
+        assert!(net.stats.energy_of(1) > 0.0);
+        assert!(net.stats.energy_of(0) > net.stats.energy_of(1), "tx > rx");
+    }
+
+    #[test]
+    fn unicast_range_check() {
+        let mut net = net_with(&[(10.0, 10.0), (30.0, 10.0)], 4.0, 8.0);
+        let msg = Message::Hello { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::OutOfRange));
+        assert_eq!(net.stats.total_sent, 0);
+    }
+
+    #[test]
+    fn unicast_to_or_from_dead_node_fails() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.fail_node(1);
+        let msg = Message::Hello { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::ReceiverDown));
+        assert_eq!(net.unicast(1, 0, msg), Err(SendError::SenderDown));
+    }
+
+    #[test]
+    fn asymmetric_radii_make_asymmetric_links() {
+        let mut net = Network::new(Aabb::square(100.0));
+        net.add_node(Point::new(10.0, 10.0), 4.0, 12.0); // long range
+        net.add_node(Point::new(20.0, 10.0), 4.0, 5.0); // short range
+        let msg = Message::Hello { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Ok(()));
+        assert_eq!(net.unicast(1, 0, msg), Err(SendError::OutOfRange));
+        assert_eq!(net.neighbors_of(0), vec![1]);
+        assert_eq!(net.neighbors_of(1), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_range() {
+        let mut net = net_with(
+            &[(50.0, 50.0), (54.0, 50.0), (50.0, 57.0), (80.0, 80.0)],
+            4.0,
+            8.0,
+        );
+        let rx = net.broadcast(
+            0,
+            Message::Heartbeat {
+                pos: Point::new(50.0, 50.0),
+            },
+        );
+        assert_eq!(rx, vec![1, 2]);
+        assert_eq!(net.stats.sent_by(0), 1, "broadcast is one transmission");
+        assert_eq!(net.stats.received_by(1), 1);
+        assert_eq!(net.stats.received_by(2), 1);
+        assert_eq!(net.stats.received_by(3), 0);
+        assert_eq!(net.stats.maintenance_sent, 1);
+    }
+
+    #[test]
+    fn broadcast_from_dead_node_is_silent() {
+        let mut net = net_with(&[(50.0, 50.0), (54.0, 50.0)], 4.0, 8.0);
+        net.fail_node(0);
+        let rx = net.broadcast(0, Message::Hello { pos: Point::ORIGIN });
+        assert!(rx.is_empty());
+        assert_eq!(net.stats.total_sent, 0);
+    }
+
+    #[test]
+    fn alive_within_is_geometric() {
+        let mut net = net_with(&[(10.0, 10.0), (14.0, 10.0), (40.0, 40.0)], 4.0, 8.0);
+        assert_eq!(net.alive_within(Point::new(12.0, 10.0), 3.0), vec![0, 1]);
+        net.fail_node(0);
+        assert_eq!(net.alive_within(Point::new(12.0, 10.0), 3.0), vec![1]);
+    }
+
+    #[test]
+    fn lossy_unicast_charges_sender_not_receiver() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.set_loss(0.999, 3); // effectively always lost
+        let mut lost = 0;
+        for _ in 0..20 {
+            if net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN }) == Err(SendError::Lost) {
+                lost += 1;
+            }
+        }
+        assert!(lost >= 19, "loss rate 0.999 must drop nearly everything");
+        assert_eq!(net.stats.sent_by(0), 20, "sender pays for every attempt");
+        assert!(net.stats.received_by(1) <= 1);
+        assert!(net.stats.energy_of(0) > 0.0);
+    }
+
+    #[test]
+    fn lossy_broadcast_drops_receivers_independently() {
+        let mut net = net_with(&[(50.0, 50.0), (54.0, 50.0), (50.0, 54.0)], 4.0, 8.0);
+        net.set_loss(0.5, 9);
+        let mut total_rx = 0usize;
+        for _ in 0..40 {
+            total_rx += net
+                .broadcast(
+                    0,
+                    Message::Heartbeat {
+                        pos: Point::new(50.0, 50.0),
+                    },
+                )
+                .len();
+        }
+        // 40 broadcasts × 2 listeners × 50% ≈ 40; allow a wide band.
+        assert!((20..=60).contains(&total_rx), "received {total_rx}");
+        assert_eq!(net.stats.sent_by(0), 40);
+    }
+
+    #[test]
+    fn loss_stream_is_deterministic() {
+        let run = |seed| {
+            let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+            net.set_loss(0.5, seed);
+            (0..32)
+                .map(|_| {
+                    net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN })
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1)")]
+    fn invalid_loss_rate_panics() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        net.set_loss(1.0, 0);
+    }
+
+    #[test]
+    fn total_energy_aggregates() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN })
+            .unwrap();
+        let sum = net.stats.energy_of(0) + net.stats.energy_of(1);
+        assert!((net.stats.total_energy() - sum).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Data-plane simulation: periodic sensing reports routed to a sink.
+//!
+//! The paper's opening problem statement (§1): after failures "the data
+//! (e.g., sensors' reports) may become stale or get lost". This module
+//! measures exactly that — every alive sensor periodically emits a report
+//! that is forwarded hop-by-hop (minimum-hop routing) to a sink node; the
+//! *delivery ratio* quantifies how much of the data plane survives a
+//! failure and how much a restoration brings back.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use crate::routing::shortest_path;
+use decor_geom::Point;
+
+/// Result of a report-collection round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeliveryReport {
+    /// Sensors that attempted to report (alive, excluding the sink).
+    pub attempted: usize,
+    /// Reports that reached the sink.
+    pub delivered: usize,
+    /// Total hops consumed by delivered reports.
+    pub total_hops: u64,
+    /// `delivered / attempted` (1.0 for an empty network).
+    pub delivery_ratio: f64,
+    /// Mean hops per delivered report (0 when nothing was delivered).
+    pub mean_hops: f64,
+}
+
+/// Simulates one report-collection round: every alive node (except the
+/// sink) routes one report to `sink` along a minimum-hop path. Messages
+/// and energy are charged through the network's accounting.
+///
+/// Reports from nodes with no route to the sink are lost — this is the
+/// "data gets lost" failure mode of §1.
+pub fn collect_reports(net: &mut Network, sink: NodeId) -> DeliveryReport {
+    assert!(net.is_alive(sink), "sink must be alive");
+    let senders: Vec<NodeId> = net
+        .alive_ids()
+        .into_iter()
+        .filter(|&id| id != sink)
+        .collect();
+    let mut delivered = 0usize;
+    let mut total_hops = 0u64;
+    for s in &senders {
+        if let Some(path) = shortest_path(net, *s, sink) {
+            for hop in path.windows(2) {
+                let _ = net.unicast(
+                    hop[0],
+                    hop[1],
+                    crate::messages::Message::Report { placements: 0 },
+                );
+            }
+            delivered += 1;
+            total_hops += path.len() as u64 - 1;
+        }
+    }
+    let attempted = senders.len();
+    DeliveryReport {
+        attempted,
+        delivered,
+        total_hops,
+        delivery_ratio: if attempted == 0 {
+            1.0
+        } else {
+            delivered as f64 / attempted as f64
+        },
+        mean_hops: if delivered == 0 {
+            0.0
+        } else {
+            total_hops as f64 / delivered as f64
+        },
+    }
+}
+
+/// Picks the alive node closest to `pos` as the sink (base station
+/// placement helper). `None` when the network is empty.
+pub fn sink_near(net: &Network, pos: Point) -> Option<NodeId> {
+    net.alive_ids().into_iter().min_by(|&a, &b| {
+        let da = net.node(a).pos.dist_sq(pos);
+        let db = net.node(b).pos.dist_sq(pos);
+        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::Aabb;
+
+    fn line(n: usize, spacing: f64) -> Network {
+        let mut net = Network::new(Aabb::square(200.0));
+        for i in 0..n {
+            net.add_node(Point::new(5.0 + i as f64 * spacing, 50.0), 4.0, 8.0);
+        }
+        net
+    }
+
+    #[test]
+    fn connected_network_delivers_everything() {
+        let mut net = line(10, 6.0);
+        let report = collect_reports(&mut net, 0);
+        assert_eq!(report.attempted, 9);
+        assert_eq!(report.delivered, 9);
+        assert_eq!(report.delivery_ratio, 1.0);
+        assert!(report.mean_hops >= 1.0);
+        assert!(net.stats.protocol_sent > 0, "reports are protocol traffic");
+    }
+
+    #[test]
+    fn partition_loses_reports() {
+        let mut net = line(10, 6.0);
+        net.fail_node(5); // cut the line
+        let report = collect_reports(&mut net, 0);
+        assert_eq!(report.attempted, 8);
+        assert_eq!(report.delivered, 4, "only the sink-side half gets through");
+        assert!((report.delivery_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_reflect_distance() {
+        let mut net = line(5, 6.0);
+        let report = collect_reports(&mut net, 0);
+        // Senders at hop distances 1, 2, 3, 4 => total 10, mean 2.5.
+        assert_eq!(report.total_hops, 10);
+        assert!((report.mean_hops - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_near_picks_closest() {
+        let net = line(5, 6.0);
+        assert_eq!(sink_near(&net, Point::new(0.0, 50.0)), Some(0));
+        assert_eq!(sink_near(&net, Point::new(100.0, 50.0)), Some(4));
+        let empty = Network::new(Aabb::square(10.0));
+        assert_eq!(sink_near(&empty, Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn singleton_network_trivially_delivers() {
+        let mut net = line(1, 6.0);
+        let report = collect_reports(&mut net, 0);
+        assert_eq!(report.attempted, 0);
+        assert_eq!(report.delivery_ratio, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink must be alive")]
+    fn dead_sink_panics() {
+        let mut net = line(3, 6.0);
+        net.fail_node(0);
+        let _ = collect_reports(&mut net, 0);
+    }
+}

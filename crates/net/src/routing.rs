@@ -1,0 +1,226 @@
+//! Multi-hop routing over the communication graph.
+//!
+//! The paper sizes the grid scheme's communication radius so neighboring
+//! leaders can talk *directly* (`rc = 10·√2` for 5×5 cells) "without the
+//! need of any routing mechanism for the inter-leader communication".
+//! This module supplies that mechanism, so configurations with smaller
+//! radii still work and their true message cost can be measured:
+//!
+//! - [`shortest_path`] — BFS over alive nodes (minimum hop count);
+//! - [`greedy_geographic`] — classic greedy geographic forwarding: each
+//!   hop goes to the neighbor closest to the destination; fails at local
+//!   minima (voids), which the caller can detect and escalate;
+//! - [`Network::route_unicast`]-style accounting via [`send_routed`],
+//!   charging one message per hop.
+
+use crate::messages::Message;
+use crate::network::{Network, SendError};
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Minimum-hop path from `from` to `to` over alive nodes (BFS), both
+/// endpoints included. `None` when unreachable or an endpoint is down.
+///
+/// ```
+/// use decor_geom::{Aabb, Point};
+/// use decor_net::{shortest_path, Network};
+///
+/// let mut net = Network::new(Aabb::square(100.0));
+/// for i in 0..4 {
+///     net.add_node(Point::new(5.0 + 6.0 * i as f64, 50.0), 4.0, 8.0);
+/// }
+/// assert_eq!(shortest_path(&net, 0, 3), Some(vec![0, 1, 2, 3]));
+/// net.fail_node(2);
+/// assert_eq!(shortest_path(&net, 0, 3), None, "the relay is gone");
+/// ```
+pub fn shortest_path(net: &Network, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if !net.is_alive(from) || !net.is_alive(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = net.len();
+    let mut prev = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    seen[from] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    'bfs: while let Some(u) = queue.pop_front() {
+        for v in net.neighbors_of(u) {
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = u;
+                if v == to {
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[to] {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Greedy geographic forwarding: from `from`, repeatedly hop to the
+/// neighbor strictly closest to `to`'s position. Returns the path on
+/// success, or `Err(stuck_at)` when a local minimum (void) blocks
+/// progress before reaching `to`.
+pub fn greedy_geographic(net: &Network, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, NodeId> {
+    if !net.is_alive(from) || !net.is_alive(to) {
+        return Err(from);
+    }
+    let target = net.node(to).pos;
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != to {
+        let cur_d = net.node(cur).pos.dist_sq(target);
+        let next = net
+            .neighbors_of(cur)
+            .into_iter()
+            .map(|nb| (net.node(nb).pos.dist_sq(target), nb))
+            .filter(|&(d, _)| d < cur_d)
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        match next {
+            Some((_, nb)) => {
+                path.push(nb);
+                cur = nb;
+            }
+            None => return Err(cur),
+        }
+    }
+    Ok(path)
+}
+
+/// Sends `msg` from `from` to `to` along the minimum-hop path, charging
+/// one transmission per hop. Returns the hop count (0 for `from == to`).
+pub fn send_routed(
+    net: &mut Network,
+    from: NodeId,
+    to: NodeId,
+    msg: Message,
+) -> Result<usize, SendError> {
+    let path = shortest_path(net, from, to).ok_or(SendError::OutOfRange)?;
+    for hop in path.windows(2) {
+        net.unicast(hop[0], hop[1], msg)?;
+    }
+    Ok(path.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::{Aabb, Point};
+
+    fn line(n: usize, spacing: f64) -> Network {
+        let mut net = Network::new(Aabb::square(200.0));
+        for i in 0..n {
+            net.add_node(Point::new(5.0 + i as f64 * spacing, 50.0), 4.0, 8.0);
+        }
+        net
+    }
+
+    #[test]
+    fn shortest_path_on_a_line() {
+        let net = line(5, 6.0); // each hop reaches only adjacent nodes
+        let p = shortest_path(&net, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shortest_path_skips_when_radius_allows() {
+        let net = line(5, 4.0); // rc=8 spans two spacings
+        let p = shortest_path(&net, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let net = line(3, 5.0);
+        assert_eq!(shortest_path(&net, 1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = line(3, 5.0);
+        net.add_node(Point::new(150.0, 50.0), 4.0, 8.0);
+        assert_eq!(shortest_path(&net, 0, 3), None);
+    }
+
+    #[test]
+    fn dead_relay_forces_detour_or_failure() {
+        let mut net = line(5, 6.0);
+        net.fail_node(2);
+        assert_eq!(shortest_path(&net, 0, 4), None, "line is cut");
+    }
+
+    #[test]
+    fn greedy_geographic_matches_on_convex_topology() {
+        let net = line(5, 6.0);
+        let p = greedy_geographic(&net, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn greedy_geographic_gets_stuck_at_voids() {
+        // A routing void: a's only neighbor (b) is *farther* from the
+        // target, so greedy forwarding stalls at a, while a detour
+        // b→c→d→e→f→t exists (every hop ≤ rc = 8, and none of c..f is
+        // within rc of a).
+        let mut net = Network::new(Aabb::square(100.0));
+        let a = net.add_node(Point::new(35.0, 50.0), 4.0, 8.0);
+        let b = net.add_node(Point::new(30.0, 50.0), 4.0, 8.0);
+        net.add_node(Point::new(30.0, 43.0), 4.0, 8.0); // c
+        net.add_node(Point::new(36.0, 39.0), 4.0, 8.0); // d
+        net.add_node(Point::new(43.0, 42.0), 4.0, 8.0); // e
+        net.add_node(Point::new(47.0, 46.0), 4.0, 8.0); // f
+        let t = net.add_node(Point::new(50.0, 50.0), 4.0, 8.0);
+        assert_eq!(net.neighbors_of(a), vec![b], "a must have only b");
+        let res = greedy_geographic(&net, a, t);
+        assert_eq!(res, Err(a));
+        // BFS still finds the detour.
+        let p = shortest_path(&net, a, t).unwrap();
+        assert_eq!(p.first(), Some(&a));
+        assert_eq!(p.last(), Some(&t));
+        assert!(p.len() >= 5, "detour must be long: {p:?}");
+    }
+
+    #[test]
+    fn send_routed_charges_per_hop() {
+        let mut net = line(5, 6.0);
+        let hops = send_routed(
+            &mut net,
+            0,
+            4,
+            Message::PlacementNotice { pos: Point::ORIGIN },
+        )
+        .unwrap();
+        assert_eq!(hops, 4);
+        assert_eq!(net.stats.protocol_sent, 4);
+        assert_eq!(net.stats.sent_by(0), 1);
+        assert_eq!(net.stats.sent_by(1), 1);
+        assert_eq!(net.stats.received_by(4), 1);
+    }
+
+    #[test]
+    fn send_routed_to_unreachable_fails_cleanly() {
+        let mut net = line(2, 50.0);
+        let err = send_routed(
+            &mut net,
+            0,
+            1,
+            Message::PlacementNotice { pos: Point::ORIGIN },
+        );
+        assert_eq!(err, Err(SendError::OutOfRange));
+        assert_eq!(net.stats.total_sent, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Border surveillance: breach analysis of a DECOR deployment.
+//!
+//! ```text
+//! cargo run --release --example border_surveillance
+//! ```
+//!
+//! The intruder-detection application viewed from the intruder's side
+//! (the paper's related work [13], Meguerdichian et al.): the *maximal
+//! breach path* is the left-to-right crossing that stays as far from
+//! every sensor as possible. This example shows how DECOR deployment and
+//! restoration shrink the breach distance — and what a disaster does
+//! to it.
+
+use decor::core::{CoverageMap, DeploymentConfig, Placer, VoronoiDecor};
+use decor::geom::{maximal_breach_path, Aabb, Disk, Point};
+use decor::lds::{halton_points, random_points};
+
+fn sensor_positions(map: &CoverageMap) -> Vec<Point> {
+    map.active_sensors().iter().map(|&(_, p)| p).collect()
+}
+
+fn main() {
+    let field = Aabb::square(100.0);
+    let cfg = DeploymentConfig {
+        k: 2,
+        ..DeploymentConfig::default()
+    };
+    let res = 128;
+
+    // Stage 1: a thin random deployment (the paper's starting state).
+    let mut map = CoverageMap::new(halton_points(2000, &field), &field, &cfg);
+    for p in random_points(120, &field, 2024) {
+        map.add_sensor(p, cfg.rs);
+    }
+    let b0 = maximal_breach_path(&sensor_positions(&map), &field, res);
+    println!("border field 100x100, sensing radius {}\n", cfg.rs);
+    println!(
+        "stage 1 — 120 random sensors:          breach distance {:6.2}  (intruder {})",
+        b0.distance,
+        if b0.distance > cfg.rs {
+            "slips through undetected"
+        } else {
+            "is detected"
+        }
+    );
+
+    // Stage 2: DECOR restores 2-coverage.
+    let placer = VoronoiDecor { rc: 8.0 };
+    let out = placer.place(&mut map, &cfg);
+    let b1 = maximal_breach_path(&sensor_positions(&map), &field, res);
+    println!(
+        "stage 2 — +{} DECOR sensors (k=2):     breach distance {:6.2}  (intruder {})",
+        out.placed.len(),
+        b1.distance,
+        if b1.distance > cfg.rs {
+            "slips through undetected"
+        } else {
+            "is detected"
+        }
+    );
+    assert!(b1.distance <= cfg.rs, "k-coverage bounds the breach by rs");
+
+    // Stage 3: a fire front burns a corridor clear across the border —
+    // three overlapping disaster discs (a single disc cannot open a full
+    // left-to-right breach in a 100-wide field).
+    let front = [
+        Disk::new(Point::new(15.0, 55.0), 20.0),
+        Disk::new(Point::new(50.0, 55.0), 20.0),
+        Disk::new(Point::new(85.0, 55.0), 20.0),
+    ];
+    let victims: Vec<usize> = map
+        .active_sensors()
+        .iter()
+        .filter(|&&(_, pos)| front.iter().any(|d| d.contains(pos)))
+        .map(|&(sid, _)| sid)
+        .collect();
+    let burned = victims.len();
+    for sid in victims {
+        map.deactivate_sensor(sid);
+    }
+    let b2 = maximal_breach_path(&sensor_positions(&map), &field, res);
+    println!(
+        "stage 3 — fire front burns {} sensors: breach distance {:6.2}  (intruder {})",
+        burned,
+        b2.distance,
+        if b2.distance > cfg.rs {
+            "slips through undetected"
+        } else {
+            "is detected"
+        }
+    );
+    assert!(
+        b2.distance > cfg.rs,
+        "the burned corridor must open a breach"
+    );
+
+    // Stage 4: restoration closes the corridor.
+    let out = placer.place(&mut map, &cfg);
+    let b3 = maximal_breach_path(&sensor_positions(&map), &field, res);
+    println!(
+        "stage 4 — +{} restoration sensors:     breach distance {:6.2}  (intruder {})",
+        out.placed.len(),
+        b3.distance,
+        if b3.distance > cfg.rs {
+            "slips through undetected"
+        } else {
+            "is detected"
+        }
+    );
+    assert!(b3.distance <= cfg.rs);
+    println!(
+        "\nk-coverage guarantees a breach distance of at most rs = {}: every crossing\n\
+         passes within sensing range of (at least k) sensors.",
+        cfg.rs
+    );
+}

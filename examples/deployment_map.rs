@@ -1,0 +1,21 @@
+//! Figures 5 and 6 — render a DECOR deployment and the hole a disaster
+//! tears into it.
+//!
+//! ```text
+//! cargo run --release --example deployment_map
+//! ```
+
+use decor::exp::{fig05_06, ExpParams};
+
+fn main() {
+    let params = ExpParams::paper();
+    println!("Fig. 5 — resulting DECOR deployment (grid, small cell, k=1):");
+    println!("('O' = sensor, '.' = approximation point)\n");
+    println!("{}", fig05_06::render_deployment(&params));
+    println!("{}", fig05_06::run_deployment(&params).to_ascii());
+
+    println!("\nFig. 6 — after a disaster (disc radius 24 at the center):");
+    println!("('O' = surviving sensor, '.' = still-covered point; the hole is blank)\n");
+    println!("{}", fig05_06::render_disaster(&params));
+    println!("{}", fig05_06::run_disaster(&params).to_ascii());
+}

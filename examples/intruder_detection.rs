@@ -1,0 +1,84 @@
+//! Intruder-detection scenario (the paper's motivating application #2).
+//!
+//! ```text
+//! cargo run --release --example intruder_detection
+//! ```
+//!
+//! A surveillance network must see every point with at least `k` sensors,
+//! where `k` is derived from a user reliability requirement (§2.1: a point
+//! stays covered with probability `1 − q^k` under i.i.d. failure rate
+//! `q`). The example sizes `k` for a 99.9% detection guarantee at a 20%
+//! node failure rate, deploys with grid DECOR, verifies the paper's
+//! k-connectivity corollary (`rc ≥ 2·rs` + k-coverage ⇒ the survivors
+//! stay connected), and simulates an intruder walk counting how many
+//! sensors track it at each step.
+
+use decor::core::{
+    reliability::{coverage_reliability, required_k},
+    CoverageMap, DeploymentConfig, GridDecor, Placer,
+};
+use decor::geom::{Aabb, Point, UnitDiskGraph};
+use decor::lds::halton_points;
+
+fn main() {
+    // 1. Reliability sizing.
+    let q = 0.2; // each sensor fails with 20% probability
+    let target = 0.999;
+    let k = required_k(target, q).expect("reachable target");
+    println!(
+        "failure rate q={q}, target reliability {target}: k = {k} \
+         (achieves {:.5})",
+        coverage_reliability(k, q)
+    );
+
+    // 2. Deploy with the distributed grid scheme.
+    let field = Aabb::square(100.0);
+    let cfg = DeploymentConfig {
+        k,
+        rc: 8.0, // = 2·rs, the connectivity condition
+        ..DeploymentConfig::default()
+    };
+    let mut map = CoverageMap::new(halton_points(2000, &field), &field, &cfg);
+    let out = GridDecor { cell_size: 5.0 }.place(&mut map, &cfg);
+    println!(
+        "grid DECOR deployed {} sensors in {} rounds; min coverage = {}",
+        out.placed.len(),
+        out.rounds,
+        map.min_coverage()
+    );
+    assert!(map.min_coverage() >= k);
+
+    // 3. The paper's corollary: with rc >= 2 rs and full k-coverage, the
+    //    communication graph is k-connected (survives k−1 node failures).
+    let positions: Vec<Point> = map.active_sensors().iter().map(|&(_, p)| p).collect();
+    let graph = UnitDiskGraph::build(&positions, cfg.rc);
+    println!(
+        "communication graph: {} nodes, {} edges, connected = {}",
+        graph.len(),
+        graph.edge_count(),
+        graph.is_connected()
+    );
+    let kc = graph.vertex_connectivity_at_least(k as usize);
+    println!(
+        "k-connectivity check (k = {k}): {}",
+        if kc { "holds" } else { "violated" }
+    );
+
+    // 4. An intruder crosses the field; count the sensors tracking it.
+    println!("\nintruder walk (diagonal crossing):");
+    let mut min_trackers = usize::MAX;
+    for step in 0..=20 {
+        let t = step as f64 / 20.0;
+        let pos = Point::new(5.0 + 90.0 * t, 95.0 - 90.0 * t);
+        let trackers = map.sensors_within(pos, cfg.rs).len();
+        min_trackers = min_trackers.min(trackers);
+        if step % 4 == 0 {
+            println!("  at {pos}: tracked by {trackers} sensors");
+        }
+    }
+    println!("\nminimum simultaneous trackers along the walk: {min_trackers} (required: {k})");
+    assert!(
+        min_trackers >= k as usize,
+        "k-coverage guarantees k trackers"
+    );
+}

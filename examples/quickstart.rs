@@ -1,0 +1,71 @@
+//! Quickstart: restore 2-coverage of a partially monitored field.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's setup (100×100 field, 2000 Halton points, rs = 4),
+//! drops 120 random sensors on it, and runs centralized greedy and both
+//! DECOR schemes to restore full 2-coverage, printing the cost of each.
+
+use decor::core::{
+    redundancy::redundancy_stats, CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor,
+    Placer, VoronoiDecor,
+};
+use decor::geom::Aabb;
+use decor::lds::{halton_points, random_points};
+
+fn main() {
+    let field = Aabb::square(100.0);
+    let cfg = DeploymentConfig {
+        k: 2,
+        ..DeploymentConfig::default()
+    };
+
+    let fresh_map = || {
+        let mut map = CoverageMap::new(halton_points(2000, &field), &field, &cfg);
+        for p in random_points(120, &field, 42) {
+            map.add_sensor(p, cfg.rs);
+        }
+        map
+    };
+
+    println!(
+        "DECOR quickstart — field 100x100, 2000 Halton points, rs=4, k={}",
+        cfg.k
+    );
+    {
+        let map = fresh_map();
+        println!(
+            "initial state: {} sensors, {:.1}% of points {}-covered\n",
+            map.n_active_sensors(),
+            map.fraction_k_covered(cfg.k) * 100.0,
+            cfg.k
+        );
+    }
+
+    let placers: Vec<Box<dyn Placer>> = vec![
+        Box::new(CentralizedGreedy),
+        Box::new(GridDecor { cell_size: 5.0 }),
+        Box::new(VoronoiDecor { rc: 8.0 }),
+    ];
+    println!(
+        "{:<24} {:>8} {:>8} {:>10} {:>12}",
+        "algorithm", "placed", "rounds", "redundant", "msgs/cell"
+    );
+    for placer in placers {
+        let mut map = fresh_map();
+        let out = placer.place(&mut map, &cfg);
+        assert!(out.fully_covered, "{} failed to cover", placer.name());
+        let (red, _) = redundancy_stats(&mut map, cfg.k);
+        println!(
+            "{:<24} {:>8} {:>8} {:>10} {:>12.2}",
+            placer.name(),
+            out.placed.len(),
+            out.rounds,
+            red,
+            out.messages.per_cell
+        );
+    }
+    println!("\nevery algorithm restored 100% {}-coverage.", cfg.k);
+}

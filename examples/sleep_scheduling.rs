@@ -1,0 +1,54 @@
+//! Sleep scheduling: turning k-coverage into network lifetime.
+//!
+//! ```text
+//! cargo run --release --example sleep_scheduling
+//! ```
+//!
+//! The paper's third motivation for k-coverage (§1): with k sensors on
+//! every point, most of them can sleep. This example deploys for
+//! k = 1..4, splits each deployment into disjoint 1-covering shifts, and
+//! duty-cycles them against a battery model, printing the measured
+//! lifetime extension.
+
+use decor::core::{CentralizedGreedy, CoverageMap, DeploymentConfig, Placer};
+use decor::geom::{Aabb, Point};
+use decor::lds::halton_points;
+use decor::net::{Network, SleepScheduler};
+
+fn main() {
+    let field = Aabb::square(100.0);
+    println!("k-coverage as an energy budget — battery 60, awake cost 1/period, sleep cost 0.02/period\n");
+    println!(
+        "{:>3} {:>8} {:>8} {:>16} {:>16} {:>11}",
+        "k", "sensors", "shifts", "duty-cycled", "all-awake", "extension"
+    );
+    for k in 1..=4u32 {
+        let cfg = DeploymentConfig {
+            k,
+            ..DeploymentConfig::default()
+        };
+        let mut map = CoverageMap::new(halton_points(2000, &field), &field, &cfg);
+        let out = CentralizedGreedy.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+
+        let mut net = Network::new(field);
+        for (_, pos) in map.active_sensors() {
+            net.add_node(pos, cfg.rs, cfg.rc);
+        }
+        let pts: Vec<Point> = map.points().to_vec();
+        let report = SleepScheduler::new(1).simulate_lifetime(&net, &pts, 60.0, 1.0, 0.02);
+        println!(
+            "{:>3} {:>8} {:>8} {:>9} periods {:>9} periods {:>10.2}x",
+            k,
+            map.n_active_sensors(),
+            report.shifts,
+            report.periods_covered,
+            report.baseline_periods,
+            report.extension_factor
+        );
+    }
+    println!("\na tight greedy deployment decomposes into roughly k/2 disjoint shifts");
+    println!("(splitting a point's exactly-k coverers into k covers is a hard domatic-");
+    println!("partition instance), so the measured extension is a floor on the paper's");
+    println!("qualitative claim: higher k still buys fault tolerance AND lifetime.");
+}

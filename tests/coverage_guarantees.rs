@@ -1,0 +1,144 @@
+//! Cross-crate guarantees a k-covered deployment buys, checked through
+//! the facade API: breach-path bounds, efficiency bounds, diagnostics
+//! consistency, and Voronoi load balance.
+
+use decor::core::bounds::coverage_lower_bound;
+use decor::core::{DeploymentDiagnostics, SchemeKind};
+use decor::exp::common::{deploy, ExpParams};
+use decor::geom::{best_support_path, maximal_breach_path, Point};
+
+fn sensors_of(map: &decor::core::CoverageMap) -> Vec<Point> {
+    map.active_sensors().iter().map(|&(_, p)| p).collect()
+}
+
+/// The intruder-side guarantee: if every approximation point is covered,
+/// any crossing passes within `rs + gap` of a sensor, where `gap` bounds
+/// the spacing between approximation points.
+#[test]
+fn k_coverage_bounds_the_breach_distance() {
+    let params = ExpParams::quick();
+    let gap = (params.field_side * params.field_side / params.n_points as f64).sqrt();
+    for scheme in [
+        SchemeKind::Centralized,
+        SchemeKind::GridBig,
+        SchemeKind::VoronoiSmall,
+    ] {
+        let (map, out, cfg) = deploy(&params, scheme, 1, 13);
+        assert!(out.fully_covered);
+        let breach = maximal_breach_path(&sensors_of(&map), map.field(), 96);
+        assert!(
+            breach.distance <= cfg.rs + gap,
+            "{}: breach {:.2} exceeds rs + gap = {:.2}",
+            scheme.label(),
+            breach.distance,
+            cfg.rs + gap
+        );
+    }
+}
+
+/// The escort-side counterpart: a covered field always offers a crossing
+/// that stays within `rs + gap` of some sensor.
+#[test]
+fn k_coverage_bounds_the_support_distance() {
+    let params = ExpParams::quick();
+    let gap = (params.field_side * params.field_side / params.n_points as f64).sqrt();
+    let (map, out, cfg) = deploy(&params, SchemeKind::Centralized, 1, 17);
+    assert!(out.fully_covered);
+    let support = best_support_path(&sensors_of(&map), map.field(), 96);
+    assert!(
+        support.distance <= cfg.rs + gap,
+        "support {:.2} exceeds rs + gap = {:.2}",
+        support.distance,
+        cfg.rs + gap
+    );
+}
+
+/// No algorithm beats the disc-packing lower bound, and all stay within
+/// a small constant factor of it (except random, which is the point of
+/// the comparison).
+#[test]
+fn efficiency_stays_between_bound_and_constant_factor() {
+    let params = ExpParams::quick();
+    for scheme in SchemeKind::ALL {
+        let (map, out, cfg) = deploy(&params, scheme, 2, 19);
+        assert!(out.fully_covered);
+        let lb = coverage_lower_bound(map.field(), cfg.rs, cfg.k);
+        let n = map.n_active_sensors();
+        assert!(
+            n >= lb,
+            "{}: {n} beats the lower bound {lb}?!",
+            scheme.label()
+        );
+        if scheme != SchemeKind::Random {
+            assert!(
+                n < 3 * lb,
+                "{}: {n} vs lower bound {lb} — too wasteful",
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// Diagnostics are internally consistent for every scheme's output.
+#[test]
+fn diagnostics_are_consistent_across_schemes() {
+    let params = ExpParams::quick();
+    for scheme in SchemeKind::ALL {
+        let (mut map, _, cfg) = deploy(&params, scheme, 2, 23);
+        let d = DeploymentDiagnostics::analyze(&mut map, cfg.k, cfg.rs);
+        assert_eq!(d.fraction_k_covered, 1.0, "{}", scheme.label());
+        assert!(d.min_coverage >= cfg.k, "{}", scheme.label());
+        assert!(
+            d.min_coverage as f64 <= d.mean_coverage && d.mean_coverage <= d.max_coverage as f64,
+            "{}",
+            scheme.label()
+        );
+        assert!(d.redundant < d.sensors, "{}", scheme.label());
+        assert!(d.cell_area_cv >= 0.0, "{}", scheme.label());
+        assert!(d.mean_nearest_sensor_dist > 0.0, "{}", scheme.label());
+        // Greedy-placed deployments space sensors on the order of rs.
+        if scheme != SchemeKind::Random {
+            assert!(
+                d.mean_nearest_sensor_dist < 2.0 * cfg.rs,
+                "{}: nn-dist {:.2}",
+                scheme.label(),
+                d.mean_nearest_sensor_dist
+            );
+        }
+    }
+}
+
+/// A disaster strictly opens the breach; restoration closes it again.
+#[test]
+fn breach_opens_and_closes_with_damage_and_repair() {
+    use decor::geom::Disk;
+    let params = ExpParams::quick();
+    let (mut map, _, cfg) = deploy(&params, SchemeKind::VoronoiBig, 1, 29);
+    let before = maximal_breach_path(&sensors_of(&map), map.field(), 96).distance;
+    // A fire front across the middle (three discs).
+    for cx in [15.0, 50.0, 85.0] {
+        let disk = Disk::new(Point::new(cx, 50.0), 20.0);
+        let victims: Vec<usize> = map
+            .active_sensors()
+            .iter()
+            .filter(|&&(_, pos)| disk.contains(pos))
+            .map(|&(sid, _)| sid)
+            .collect();
+        for sid in victims {
+            map.deactivate_sensor(sid);
+        }
+    }
+    let opened = maximal_breach_path(&sensors_of(&map), map.field(), 96).distance;
+    assert!(
+        opened > before + 2.0,
+        "corridor must open: {before} -> {opened}"
+    );
+    let placer = params.placer(SchemeKind::VoronoiBig, 31);
+    let out = placer.place(&mut map, &cfg);
+    assert!(out.fully_covered);
+    let closed = maximal_breach_path(&sensors_of(&map), map.field(), 96).distance;
+    assert!(
+        closed <= before + 1.0,
+        "restoration must close it: {closed}"
+    );
+}

@@ -1,0 +1,54 @@
+//! Determinism guarantees: every algorithm is a pure function of its
+//! seed-derived inputs, and parallel replica execution matches sequential.
+
+use decor::core::parallel::{replica_seed, run_replicas};
+use decor::core::SchemeKind;
+use decor::exp::common::{deploy, ExpParams};
+
+#[test]
+fn every_scheme_is_deterministic_in_the_seed() {
+    let params = ExpParams::quick();
+    for scheme in SchemeKind::ALL {
+        let (_, a, _) = deploy(&params, scheme, 2, 7);
+        let (_, b, _) = deploy(&params, scheme, 2, 7);
+        assert_eq!(a.placed, b.placed, "{}", scheme.label());
+        assert_eq!(a.rounds, b.rounds, "{}", scheme.label());
+        assert_eq!(
+            a.messages.protocol_total,
+            b.messages.protocol_total,
+            "{}",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_fields() {
+    let params = ExpParams::quick();
+    let (_, a, _) = deploy(&params, SchemeKind::Centralized, 1, 1);
+    let (_, b, _) = deploy(&params, SchemeKind::Centralized, 1, 2);
+    assert_ne!(a.placed, b.placed, "seeds must matter");
+}
+
+#[test]
+fn parallel_replicas_equal_sequential_for_real_workload() {
+    let params = ExpParams::quick();
+    let work = |_: usize, seed: u64| {
+        let (_, out, _) = deploy(&params, SchemeKind::GridBig, 1, seed);
+        (out.placed.len(), out.messages.protocol_total)
+    };
+    let par = run_replicas(4, 99, work);
+    let seq: Vec<_> = (0..4).map(|i| work(i, replica_seed(99, i))).collect();
+    assert_eq!(par, seq);
+}
+
+#[test]
+fn experiment_tables_are_reproducible() {
+    let params = ExpParams::quick();
+    let a = decor::exp::fig08::run(&params);
+    let b = decor::exp::fig08::run(&params);
+    assert_eq!(a.rows, b.rows);
+    let c = decor::exp::fig04::run(&params);
+    let d = decor::exp::fig04::run(&params);
+    assert_eq!(c.rows, d.rows);
+}
