@@ -1,0 +1,62 @@
+//! PR-1 acceptance benchmark: the sharded, incrementally-maintained
+//! placement engine vs the seed `BenefitTable` path.
+//!
+//! Scenario (from the PR-1 issue): centralized greedy restoration to full
+//! 2-coverage of a 2000-point Halton field on the paper's 100x100 m field
+//! with rs = 4 m, starting from an empty deployment. Both paths produce
+//! bit-identical placement sequences (enforced by the differential tests);
+//! this bench measures the wall-clock gap.
+//!
+//! Reproduce the committed summary with:
+//!
+//! ```text
+//! CRITERION_JSON=$PWD/BENCH_PR1.json \
+//!     cargo bench -p decor-bench --bench pr1_engine
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use decor_core::{CentralizedGreedy, CoverageMap, DeploymentConfig, Placer};
+use decor_geom::Aabb;
+use decor_lds::halton_points;
+use std::hint::black_box;
+
+fn base_map(n_pts: usize, cfg: &DeploymentConfig) -> CoverageMap {
+    let field = Aabb::square(100.0);
+    CoverageMap::new(halton_points(n_pts, &field), &field, cfg)
+}
+
+fn bench_engine_vs_table(c: &mut Criterion) {
+    let cfg = DeploymentConfig::with_k(2);
+    let base = base_map(2000, &cfg);
+
+    // Sanity: both paths fully restore and agree (cheap relative to the
+    // measurement loop; a silent divergence would invalidate the numbers).
+    {
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let oa = CentralizedGreedy.place(&mut a, &cfg);
+        let ob = CentralizedGreedy.place_with_benefit_table(&mut b, &cfg);
+        assert!(oa.fully_covered && ob.fully_covered);
+        assert_eq!(oa.placed, ob.placed, "paths diverged; bench is invalid");
+    }
+
+    let mut g = c.benchmark_group("pr1/centralized_greedy_k2_2000pts");
+    g.bench_function("seed_benefit_table", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut map| black_box(CentralizedGreedy.place_with_benefit_table(&mut map, &cfg)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sharded_engine", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut map| black_box(CentralizedGreedy.place(&mut map, &cfg)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(pr1, bench_engine_vs_table);
+criterion_main!(pr1);

@@ -22,7 +22,7 @@ use decor_geom::{GridIndex, Point};
 /// Direct evaluation of Equation 1 at candidate position `c`.
 pub fn benefit_at(map: &CoverageMap, c: Point, rs: f64, k: u32) -> u64 {
     let mut b = 0u64;
-    map.for_each_point_within(c, rs, |pid, _| {
+    map.for_each_point_within_unordered(c, rs, |pid, _| {
         let kp = map.coverage(pid);
         if kp < k {
             b += (k - kp) as u64;
@@ -109,7 +109,18 @@ impl BenefitTable {
     /// Recomputing (rather than differential ±1 bookkeeping) keeps the
     /// update correct for heterogeneous radii at the same asymptotic cost.
     pub fn on_sensor_added(&mut self, map: &CoverageMap, q: Point, rs_new: f64) {
-        let radius = rs_new + self.rs;
+        self.recompute_near(map, q, rs_new);
+    }
+
+    /// Notifies the table that the sensor of radius `rs_old` at `q` was
+    /// deactivated, *after* the map was updated. Same influence radius as
+    /// [`BenefitTable::on_sensor_added`]; affected benefits are recomputed.
+    pub fn on_sensor_removed(&mut self, map: &CoverageMap, q: Point, rs_old: f64) {
+        self.recompute_near(map, q, rs_old);
+    }
+
+    fn recompute_near(&mut self, map: &CoverageMap, q: Point, r: f64) {
+        let radius = r + self.rs;
         let rs = self.rs;
         let k = self.k;
         // Collect affected slots first: recomputation borrows `map`.

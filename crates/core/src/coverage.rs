@@ -10,6 +10,7 @@
 
 use crate::config::DeploymentConfig;
 use decor_geom::{Aabb, GridIndex, Point};
+use std::collections::BTreeSet;
 
 /// Index of a sensor within its [`CoverageMap`].
 pub type SensorId = usize;
@@ -46,6 +47,14 @@ pub struct CoverageMap {
     sensors: Vec<Sensor>,
     sensor_index: GridIndex,
     max_rs: f64,
+    /// The configured coverage requirement; [`CoverageMap::uncovered_ids`]
+    /// answers queries at this `k` from `below_target` without a sweep.
+    k_target: u32,
+    /// `cov_hist[c]` = number of points with coverage exactly `c`.
+    cov_hist: Vec<usize>,
+    /// Ids of points with coverage below `k_target` (kept exact on every
+    /// sensor add/deactivate/reactivate).
+    below_target: BTreeSet<usize>,
 }
 
 impl CoverageMap {
@@ -80,7 +89,15 @@ impl CoverageMap {
             sensors: Vec::new(),
             sensor_index,
             max_rs: 0.0,
+            k_target: cfg.k,
+            cov_hist: vec![n],
+            below_target: (0..n).collect(),
         }
+    }
+
+    /// The coverage requirement this map was configured with.
+    pub fn k_target(&self) -> u32 {
+        self.k_target
     }
 
     /// The monitored field.
@@ -104,14 +121,31 @@ impl CoverageMap {
         self.coverage[pid]
     }
 
-    /// Ids of approximation points within distance `r` of `q`.
+    /// Ids of approximation points within distance `r` of `q`, sorted
+    /// ascending — the same canonical order [`CoverageMap::sensors_within`]
+    /// uses for sensor ids.
     pub fn points_within(&self, q: Point, r: f64) -> Vec<usize> {
-        self.pt_index.within(q, r)
+        let mut v = self.pt_index.within(q, r);
+        v.sort_unstable();
+        v
     }
 
     /// Visits `(point_id, position)` for approximation points within `r`
-    /// of `q` without allocating.
-    pub fn for_each_point_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, f: F) {
+    /// of `q` in ascending id order.
+    pub fn for_each_point_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, mut f: F) {
+        let mut hits: Vec<(usize, Point)> = Vec::new();
+        self.pt_index
+            .for_each_within(q, r, |pid, pos| hits.push((pid, pos)));
+        hits.sort_unstable_by_key(|&(pid, _)| pid);
+        for (pid, pos) in hits {
+            f(pid, pos);
+        }
+    }
+
+    /// Like [`CoverageMap::for_each_point_within`] but in hash-grid bucket
+    /// order, without allocating. Use for order-independent accumulation
+    /// (sums, counts) on hot paths.
+    pub fn for_each_point_within_unordered<F: FnMut(usize, Point)>(&self, q: Point, r: f64, f: F) {
         self.pt_index.for_each_within(q, r, f)
     }
 
@@ -130,8 +164,20 @@ impl CoverageMap {
         self.sensor_index.insert(id, pos);
         self.max_rs = self.max_rs.max(rs);
         let coverage = &mut self.coverage;
+        let hist = &mut self.cov_hist;
+        let below = &mut self.below_target;
+        let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
+            let c = coverage[pid] as usize;
+            hist[c] -= 1;
+            if hist.len() <= c + 1 {
+                hist.resize(c + 2, 0);
+            }
+            hist[c + 1] += 1;
             coverage[pid] += 1;
+            if coverage[pid] >= kt {
+                below.remove(&pid);
+            }
         });
         id
     }
@@ -172,9 +218,18 @@ impl CoverageMap {
         let rs = self.sensors[id].rs;
         self.sensor_index.remove(id, pos);
         let coverage = &mut self.coverage;
+        let hist = &mut self.cov_hist;
+        let below = &mut self.below_target;
+        let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
             debug_assert!(coverage[pid] > 0, "coverage underflow");
+            let c = coverage[pid] as usize;
+            hist[c] -= 1;
+            hist[c - 1] += 1;
             coverage[pid] -= 1;
+            if coverage[pid] < kt {
+                below.insert(pid);
+            }
         });
         true
     }
@@ -190,8 +245,20 @@ impl CoverageMap {
         let rs = self.sensors[id].rs;
         self.sensor_index.insert(id, pos);
         let coverage = &mut self.coverage;
+        let hist = &mut self.cov_hist;
+        let below = &mut self.below_target;
+        let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
+            let c = coverage[pid] as usize;
+            hist[c] -= 1;
+            if hist.len() <= c + 1 {
+                hist.resize(c + 2, 0);
+            }
+            hist[c + 1] += 1;
             coverage[pid] += 1;
+            if coverage[pid] >= kt {
+                below.remove(&pid);
+            }
         });
         true
     }
@@ -226,30 +293,40 @@ impl CoverageMap {
         out
     }
 
-    /// Fraction of approximation points with coverage `>= k`.
+    /// Fraction of approximation points with coverage `>= k`. O(k) via the
+    /// incrementally-maintained coverage histogram.
     pub fn fraction_k_covered(&self, k: u32) -> f64 {
         if self.points.is_empty() {
             return 1.0;
         }
-        let covered = self.coverage.iter().filter(|&&c| c >= k).count();
+        let covered = self.points.len() - self.count_below(k);
         covered as f64 / self.points.len() as f64
     }
 
-    /// Number of points with coverage below `k`.
+    /// Number of points with coverage below `k`. O(k), no sweep.
     pub fn count_below(&self, k: u32) -> usize {
-        self.coverage.iter().filter(|&&c| c < k).count()
+        self.cov_hist
+            .iter()
+            .take((k as usize).min(self.cov_hist.len()))
+            .sum()
     }
 
-    /// Ids of points with coverage below `k`.
+    /// Ids of points with coverage below `k`, ascending. O(result) when
+    /// `k` equals the configured [`CoverageMap::k_target`] (the common
+    /// case, answered from the maintained below-target set); O(n) sweep
+    /// otherwise.
     pub fn uncovered_ids(&self, k: u32) -> Vec<usize> {
+        if k == self.k_target {
+            return self.below_target.iter().copied().collect();
+        }
         (0..self.points.len())
             .filter(|&i| self.coverage[i] < k)
             .collect()
     }
 
-    /// The minimum coverage over all points.
+    /// The minimum coverage over all points. O(min) via the histogram.
     pub fn min_coverage(&self) -> u32 {
-        self.coverage.iter().copied().min().unwrap_or(0)
+        self.cov_hist.iter().position(|&n| n > 0).unwrap_or(0) as u32
     }
 
     /// Histogram of coverage counts: `hist[c]` = number of points covered
@@ -257,8 +334,8 @@ impl CoverageMap {
     /// bucket).
     pub fn coverage_histogram(&self, max_c: u32) -> Vec<usize> {
         let mut hist = vec![0usize; max_c as usize + 1];
-        for &c in &self.coverage {
-            hist[(c.min(max_c)) as usize] += 1;
+        for (c, &n) in self.cov_hist.iter().enumerate() {
+            hist[c.min(max_c as usize)] += n;
         }
         hist
     }
@@ -274,7 +351,8 @@ impl CoverageMap {
     }
 
     /// Recomputes every point's coverage from scratch (O(n·deg)) and
-    /// asserts it matches the incremental counters. Test/debug aid.
+    /// asserts it matches the incremental counters, the coverage
+    /// histogram, and the below-target set. Test/debug aid.
     pub fn verify_consistency(&self) {
         for (pid, &p) in self.points.iter().enumerate() {
             let truth = self
@@ -287,6 +365,15 @@ impl CoverageMap {
                 "coverage drift at point {pid} ({p})"
             );
         }
+        let mut hist = vec![0usize; self.cov_hist.len()];
+        for &c in &self.coverage {
+            hist[c as usize] += 1;
+        }
+        assert_eq!(hist, self.cov_hist, "coverage histogram drift");
+        let below: BTreeSet<usize> = (0..self.points.len())
+            .filter(|&i| self.coverage[i] < self.k_target)
+            .collect();
+        assert_eq!(below, self.below_target, "below-target set drift");
     }
 }
 

@@ -26,6 +26,7 @@
 
 use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
+use crate::engine::ShardedBenefitEngine;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
 use decor_geom::{Aabb, Point};
@@ -181,6 +182,23 @@ impl GridDecor {
         }
         best
     }
+
+    /// Per-cell best query, answered by the sharded engine when one is in
+    /// use (cached per-cell maxima, delta-maintained) and by the direct
+    /// O(cell²) scan otherwise. Both produce identical results — the
+    /// equivalence is tested below.
+    fn cell_best(
+        engine: &mut Option<ShardedBenefitEngine>,
+        map: &CoverageMap,
+        cells: &Cells,
+        ci: usize,
+        cfg: &DeploymentConfig,
+    ) -> Option<(usize, u64)> {
+        match engine.as_mut() {
+            Some(e) => e.best_in_shard(map, ci),
+            None => Self::best_candidate(map, cells, ci, cfg),
+        }
+    }
 }
 
 impl Placer for GridDecor {
@@ -189,6 +207,21 @@ impl Placer for GridDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
+        self.place_impl(map, cfg, true)
+    }
+}
+
+impl GridDecor {
+    /// Implementation behind [`Placer::place`]. `use_engine` switches
+    /// between the sharded engine with per-cell cached maxima (production)
+    /// and the direct O(cell²) per-cell scan (reference); the differential
+    /// test below pins the two paths to identical outcomes.
+    fn place_impl(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        use_engine: bool,
+    ) -> PlacementOutcome {
         cfg.validate();
         assert!(
             self.cell_size > 0.0 && self.cell_size.is_finite(),
@@ -208,6 +241,10 @@ impl Placer for GridDecor {
             }
         }
         let initial = map.n_active_sensors();
+        // One shard per cell: per-cell truncated benefits delta-maintained,
+        // per-cell best cached until a placement lands in the cell.
+        let mut engine: Option<ShardedBenefitEngine> =
+            use_engine.then(|| ShardedBenefitEngine::cells(map, &cells.points, cfg.rs, cfg.k));
         let mut out = PlacementOutcome {
             initial_sensors: initial,
             ..PlacementOutcome::default()
@@ -228,7 +265,7 @@ impl Placer for GridDecor {
                     continue;
                 }
                 let leader = rotation_leader(&cells.members[ci], round).expect("non-empty");
-                if let Some((pid, _)) = Self::best_candidate(map, &cells, ci, cfg) {
+                if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, ci, cfg) {
                     decisions.push((ci, leader, pid));
                     continue;
                 }
@@ -239,7 +276,7 @@ impl Placer for GridDecor {
                     if !cells.members[nc].is_empty() || claimed_empty.contains(&nc) {
                         continue;
                     }
-                    if let Some((pid, _)) = Self::best_candidate(map, &cells, nc, cfg) {
+                    if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, nc, cfg) {
                         claimed_empty.push(nc);
                         decisions.push((nc, leader, pid));
                         break;
@@ -258,9 +295,9 @@ impl Placer for GridDecor {
                     break;
                 }
                 let deficient_cell = (0..cells.len())
-                    .find(|&ci| Self::best_candidate(map, &cells, ci, cfg).is_some());
+                    .find(|&ci| Self::cell_best(&mut engine, map, &cells, ci, cfg).is_some());
                 let Some(target) = deficient_cell else { break };
-                let (pid, _) = Self::best_candidate(map, &cells, target, cfg).unwrap();
+                let (pid, _) = Self::cell_best(&mut engine, map, &cells, target, cfg).unwrap();
                 let seeder = (0..cells.len())
                     .filter(|&ci| !cells.members[ci].is_empty())
                     .min_by(|&a, &b| {
@@ -277,6 +314,9 @@ impl Placer for GridDecor {
                         // No sensors anywhere: bootstrap one out-of-band.
                         let pos = map.points()[pid];
                         map.add_sensor(pos, cfg.rs);
+                        if let Some(e) = engine.as_mut() {
+                            e.on_sensor_added(map, pos, cfg.rs);
+                        }
                         let nid = net.add_node(pos, cfg.rs, rc_grid);
                         {
                             let ci_new = cells.index_of(pos);
@@ -300,6 +340,9 @@ impl Placer for GridDecor {
                 }
                 let pos = map.points()[pid];
                 map.add_sensor(pos, cfg.rs);
+                if let Some(e) = engine.as_mut() {
+                    e.on_sensor_added(map, pos, cfg.rs);
+                }
                 let nid = net.add_node(pos, cfg.rs, rc_grid);
                 {
                     let ci_new = cells.index_of(pos);
@@ -467,6 +510,23 @@ mod tests {
         let out = GridDecor { cell_size: 5.0 }.place(&mut map, &cfg);
         assert!(out.placed.len() <= 7);
         assert!(!out.fully_covered);
+    }
+
+    #[test]
+    fn engine_path_matches_direct_scan_path() {
+        // The cells-mode engine must reproduce the direct per-cell scan
+        // bit-for-bit: same placements, rounds, and message counts.
+        for (k, initial, cell) in [(1u32, 0usize, 5.0), (2, 50, 5.0), (3, 80, 10.0)] {
+            let (mut m_engine, cfg) = setup(k, 600, initial, 11);
+            let mut m_direct = m_engine.clone();
+            let placer = GridDecor { cell_size: cell };
+            let a = placer.place_impl(&mut m_engine, &cfg, true);
+            let b = placer.place_impl(&mut m_direct, &cfg, false);
+            assert_eq!(a.placed, b.placed, "k={k} initial={initial} cell={cell}");
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.fully_covered, b.fully_covered);
+            assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        }
     }
 
     #[test]

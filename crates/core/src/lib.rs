@@ -29,6 +29,7 @@ pub mod centralized;
 pub mod config;
 pub mod coverage;
 pub mod diagnostics;
+pub mod engine;
 pub mod grid_scheme;
 pub mod metrics;
 pub mod parallel;
@@ -44,6 +45,7 @@ pub use centralized::CentralizedGreedy;
 pub use config::{DeploymentConfig, SchemeKind};
 pub use coverage::{CoverageMap, SensorId};
 pub use diagnostics::DeploymentDiagnostics;
+pub use engine::ShardedBenefitEngine;
 pub use grid_scheme::GridDecor;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
 pub use random_place::RandomPlacement;

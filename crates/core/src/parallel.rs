@@ -14,7 +14,6 @@
 use crate::benefit::benefit_at;
 use crate::coverage::CoverageMap;
 use decor_lds::vdc::splitmix64;
-use parking_lot::Mutex;
 
 /// Derives the seed for replica `i` from a base seed.
 ///
@@ -44,23 +43,36 @@ where
     if threads == 1 {
         return (0..n).map(|i| f(i, replica_seed(base_seed, i))).collect();
     }
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Work-stealing over an atomic index; each worker accumulates its own
+    // `(index, result)` pairs and the results are scattered into their
+    // slots after the joins — disjoint per-slot storage, no shared lock on
+    // the hot path.
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            handles.push(scope.spawn(|_| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i, replica_seed(base_seed, i))));
                 }
-                let out = f(i, replica_seed(base_seed, i));
-                results.lock()[i] = Some(out);
-            });
+                local
+            }));
+        }
+        for h in handles {
+            for (i, out) in h.join().expect("replica worker panicked") {
+                debug_assert!(results[i].is_none(), "replica {i} computed twice");
+                results[i] = Some(out);
+            }
         }
     })
-    .expect("replica worker panicked");
+    .expect("replica scope failed");
     results
-        .into_inner()
         .into_iter()
         .map(|o| o.expect("every replica filled"))
         .collect()

@@ -59,6 +59,45 @@ impl VoronoiDecor {
             .count() as u32
     }
 
+    /// The agents that own point `pid` under their local Voronoi view *and*
+    /// believe it under-covered. This is the per-point body of the decision
+    /// phase; its result depends only on the sensors within `rc` of the
+    /// point (candidate owners are within `rc`, and a coverer is within
+    /// `rs <= rc`), which is what lets rounds cache it per point and
+    /// invalidate just the `rc`-disk of each new placement.
+    fn point_owners(map: &CoverageMap, pid: usize, rc: f64, rc_sq: f64, k: u32) -> Vec<usize> {
+        let p = map.points()[pid];
+        // Agents that could own p.
+        let mut cands: Vec<(usize, decor_geom::Point, f64)> = Vec::new();
+        map.for_each_sensor_within(p, rc, |sid, spos| {
+            cands.push((sid, spos, p.dist_sq(spos)));
+        });
+        if cands.is_empty() {
+            return Vec::new(); // unreachable this round; fringe grows later
+        }
+        cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
+        let coverers: Vec<(usize, decor_geom::Point)> = map
+            .sensors_covering(p)
+            .into_iter()
+            .map(|sid| (sid, map.sensor_pos(sid)))
+            .collect();
+        let mut out = Vec::new();
+        for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
+            if Self::estimate(spos, &coverers, rc) >= k {
+                continue; // this agent believes p is fine
+            }
+            // Local ownership: no agent closer to p is a 1-hop
+            // neighbor of this one.
+            let blocked = cands[..idx]
+                .iter()
+                .any(|&(_, cpos, _)| spos.dist_sq(cpos) <= rc_sq);
+            if !blocked {
+                out.push(sid);
+            }
+        }
+        out
+    }
+
     /// Locally-estimated benefit of agent `viewer` placing at `c`:
     /// Equation 1 restricted to the points the agent knows (within `rc` of
     /// itself), with coverage replaced by the agent's estimate.
@@ -99,6 +138,22 @@ impl Placer for VoronoiDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
+        self.place_impl(map, cfg, true)
+    }
+}
+
+impl VoronoiDecor {
+    /// Implementation behind [`Placer::place`]. With `use_cache` the
+    /// per-point ownership results are reused across rounds and only the
+    /// `rc`-disk of each new placement is recomputed (production); without
+    /// it every point is recomputed every round (reference). The
+    /// differential test below pins the two paths to identical outcomes.
+    fn place_impl(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        use_cache: bool,
+    ) -> PlacementOutcome {
         cfg.validate();
         let rc = self.rc;
         assert!(
@@ -124,40 +179,29 @@ impl Placer for VoronoiDecor {
         });
 
         let rc_sq = rc * rc;
+        // Per-point ownership cache: `owners[pid]` is the last computed
+        // [`Self::point_owners`] result; an entry goes stale only when a
+        // sensor lands within `rc` of the point.
+        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); map.n_points()];
+        let mut owners_dirty = vec![true; map.n_points()];
         let mut rounds = 0usize;
         while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
             // ---- Decision phase (coverage snapshot at round start) ----
             // For every point, find the agents that (a) believe it is
             // under-covered and (b) own it under their local view.
-            let mut owned_deficient: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            if !use_cache {
+                owners_dirty.iter_mut().for_each(|d| *d = true);
+            }
             for pid in 0..map.n_points() {
-                let p = map.points()[pid];
-                // Agents that could own p.
-                let mut cands: Vec<(usize, decor_geom::Point, f64)> = Vec::new();
-                map.for_each_sensor_within(p, rc, |sid, spos| {
-                    cands.push((sid, spos, p.dist_sq(spos)));
-                });
-                if cands.is_empty() {
-                    continue; // unreachable this round; fringe grows later
+                if owners_dirty[pid] {
+                    owners[pid] = Self::point_owners(map, pid, rc, rc_sq, cfg.k);
+                    owners_dirty[pid] = false;
                 }
-                cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
-                let coverers: Vec<(usize, decor_geom::Point)> = map
-                    .sensors_covering(p)
-                    .into_iter()
-                    .map(|sid| (sid, map.sensor_pos(sid)))
-                    .collect();
-                for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
-                    if Self::estimate(spos, &coverers, rc) >= cfg.k {
-                        continue; // this agent believes p is fine
-                    }
-                    // Local ownership: no agent closer to p is a 1-hop
-                    // neighbor of this one.
-                    let blocked = cands[..idx]
-                        .iter()
-                        .any(|&(_, cpos, _)| spos.dist_sq(cpos) <= rc_sq);
-                    if !blocked {
-                        owned_deficient.entry(sid).or_default().push(pid);
-                    }
+            }
+            let mut owned_deficient: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (pid, sids) in owners.iter().enumerate() {
+                for &sid in sids {
+                    owned_deficient.entry(sid).or_default().push(pid);
                 }
             }
 
@@ -198,6 +242,7 @@ impl Placer for VoronoiDecor {
                     .expect("non-empty deficient set");
                 let pos = map.points()[target];
                 let sid = map.add_sensor(pos, cfg.rs);
+                map.for_each_point_within_unordered(pos, rc, |pid, _| owners_dirty[pid] = true);
                 let nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(sid, nid);
                 out.placed.push(pos);
@@ -216,6 +261,7 @@ impl Placer for VoronoiDecor {
                 }
                 let pos = map.points()[pid];
                 let new_sid = map.add_sensor(pos, cfg.rs);
+                map.for_each_point_within_unordered(pos, rc, |qid, _| owners_dirty[qid] = true);
                 let new_nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(new_sid, new_nid);
                 out.placed.push(pos);
@@ -373,6 +419,23 @@ mod tests {
             big.per_cell,
             small.per_cell
         );
+    }
+
+    #[test]
+    fn cached_path_matches_recompute_all_path() {
+        // The per-point ownership cache must reproduce the recompute-
+        // everything-every-round reference bit-for-bit.
+        for (k, initial, rc) in [(1u32, 0usize, 8.0), (2, 50, 8.0), (2, 60, 14.142)] {
+            let (mut m_cached, cfg) = setup(k, 500, initial, 13);
+            let mut m_fresh = m_cached.clone();
+            let placer = VoronoiDecor { rc };
+            let a = placer.place_impl(&mut m_cached, &cfg, true);
+            let b = placer.place_impl(&mut m_fresh, &cfg, false);
+            assert_eq!(a.placed, b.placed, "k={k} initial={initial} rc={rc}");
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.fully_covered, b.fully_covered);
+            assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn mixed_radius_map(
     let mut map = CoverageMap::new(halton_points(params.n_points, &field), &field, cfg);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x8E7E);
     for p in random_points(initial, &field, seed) {
-        let factor = [0.5, 1.0, 1.5][rng.gen_range(0..3)];
+        let factor = [0.5, 1.0, 1.5][rng.gen_range(0..3usize)];
         map.add_sensor(p, cfg.rs * factor);
     }
     map

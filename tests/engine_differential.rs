@@ -1,0 +1,202 @@
+//! Differential tests for the PR-1 placement engine: the incremental
+//! benefit machinery ([`BenefitTable`], [`ShardedBenefitEngine`]) must stay
+//! bit-identical to direct evaluation ([`benefit_at`], [`par_best_candidate`])
+//! under arbitrary sensor churn, and the engine-backed centralized placement
+//! must reproduce the seed BenefitTable placement sequence exactly.
+
+use decor::core::{
+    benefit_at, parallel::par_best_candidate, BenefitTable, CentralizedGreedy, CoverageMap,
+    DeploymentConfig, Placer, ShardedBenefitEngine,
+};
+use decor::geom::{Aabb, Point};
+use decor::lds::halton_points;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// One churn step: add a sensor, kill an earlier one, or revive one.
+#[derive(Clone, Debug)]
+enum Churn {
+    Add(Point, f64),
+    Kill(prop::sample::Index),
+    Revive(prop::sample::Index),
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    // 0..=2 => Add (3x weight), 3 => Kill, 4 => Revive.
+    (
+        0u8..5,
+        arb_point(),
+        2.0..10.0f64,
+        any::<prop::sample::Index>(),
+    )
+        .prop_map(|(tag, p, r, idx)| match tag {
+            0..=2 => Churn::Add(p, r),
+            3 => Churn::Kill(idx),
+            _ => Churn::Revive(idx),
+        })
+}
+
+/// Checks that every incremental benefit view agrees with direct
+/// evaluation: table slots, engine slots, `best()` of both, and
+/// `par_best_candidate`.
+fn assert_all_views_agree(
+    map: &CoverageMap,
+    table: &BenefitTable,
+    engine: &mut ShardedBenefitEngine,
+    cands: &[usize],
+    rs: f64,
+    k: u32,
+) {
+    for (slot, &pid) in cands.iter().enumerate() {
+        let direct = benefit_at(map, map.points()[pid], rs, k);
+        assert_eq!(table.benefit(slot), direct, "table slot {slot} (pid {pid})");
+        assert_eq!(
+            engine.benefit(slot),
+            direct,
+            "engine slot {slot} (pid {pid})"
+        );
+    }
+    let tb = table.best().map(|(_, pid, _, b)| (pid, b));
+    let eb = engine.best(map).map(|(_, pid, _, b)| (pid, b));
+    let pb = par_best_candidate(map, cands, rs, k);
+    assert_eq!(tb, pb, "table.best vs par_best_candidate");
+    assert_eq!(eb, pb, "engine.best vs par_best_candidate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental table and the sharded engine track direct
+    /// evaluation exactly through arbitrary interleavings of sensor
+    /// additions, deactivations and reactivations.
+    #[test]
+    fn benefit_views_agree_under_churn(
+        seed_sensors in prop::collection::vec((arb_point(), 2.0..10.0f64), 0..6),
+        churn in prop::collection::vec(arb_churn(), 1..24),
+        k in 1u32..4,
+    ) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(k);
+        let mut map = CoverageMap::new(halton_points(250, &field), &field, &cfg);
+        for &(p, r) in &seed_sensors {
+            map.add_sensor(p, r);
+        }
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+        let mut table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+        let mut engine = ShardedBenefitEngine::global(&map, cands.clone(), cfg.rs, cfg.k);
+
+        for step in &churn {
+            match step {
+                Churn::Add(p, r) => {
+                    map.add_sensor(*p, *r);
+                    table.on_sensor_added(&map, *p, *r);
+                    engine.on_sensor_added(&map, *p, *r);
+                }
+                Churn::Kill(idx) => {
+                    if map.n_sensors() == 0 {
+                        continue;
+                    }
+                    let sid = idx.index(map.n_sensors());
+                    if map.deactivate_sensor(sid) {
+                        let (pos, r) = (map.sensor_pos(sid), map.sensor_rs(sid));
+                        table.on_sensor_removed(&map, pos, r);
+                        engine.on_sensor_removed(&map, pos, r);
+                    }
+                }
+                Churn::Revive(idx) => {
+                    if map.n_sensors() == 0 {
+                        continue;
+                    }
+                    let sid = idx.index(map.n_sensors());
+                    if map.reactivate_sensor(sid) {
+                        let (pos, r) = (map.sensor_pos(sid), map.sensor_rs(sid));
+                        table.on_sensor_added(&map, pos, r);
+                        engine.on_sensor_added(&map, pos, r);
+                    }
+                }
+            }
+        }
+        map.verify_consistency();
+        assert_all_views_agree(&map, &table, &mut engine, &cands, cfg.rs, cfg.k);
+    }
+
+    /// The engine-backed centralized greedy reproduces the seed
+    /// BenefitTable placement sequence bit-for-bit on random fields with
+    /// random pre-existing sensors.
+    #[test]
+    fn engine_placement_sequence_matches_seed_path(
+        n_pts in 100usize..400,
+        initial in prop::collection::vec((arb_point(), 2.0..8.0f64), 0..12),
+        k in 1u32..4,
+        cap_tag in 0usize..3,
+    ) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig {
+            max_new_nodes: [8usize, 25, 100_000][cap_tag],
+            ..DeploymentConfig::with_k(k)
+        };
+        let mut m_engine = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+        for &(p, r) in &initial {
+            m_engine.add_sensor(p, r);
+        }
+        let mut m_table = m_engine.clone();
+        let a = CentralizedGreedy.place(&mut m_engine, &cfg);
+        let b = CentralizedGreedy.place_with_benefit_table(&mut m_table, &cfg);
+        prop_assert_eq!(&a.placed, &b.placed);
+        prop_assert_eq!(a.fully_covered, b.fully_covered);
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        for (ta, tb) in a.trace.iter().zip(&b.trace) {
+            prop_assert_eq!(ta.total_sensors, tb.total_sensors);
+            prop_assert_eq!(ta.fraction_k_covered, tb.fraction_k_covered);
+        }
+    }
+}
+
+/// Deterministic (non-proptest) churn check with a fixed heterogeneous
+/// script, so a regression fails with a stable, reproducible scenario.
+#[test]
+fn fixed_churn_script_stays_consistent() {
+    let field = Aabb::square(100.0);
+    let cfg = DeploymentConfig::with_k(2);
+    let mut map = CoverageMap::new(halton_points(400, &field), &field, &cfg);
+    let cands: Vec<usize> = (0..map.n_points()).collect();
+    let mut table = BenefitTable::new(&map, cands.clone(), cfg.rs, cfg.k);
+    let mut engine = ShardedBenefitEngine::global(&map, cands.clone(), cfg.rs, cfg.k);
+
+    let script: Vec<(f64, f64, f64)> = (0..30)
+        .map(|i| {
+            let t = i as f64;
+            (
+                5.0 + 89.0 * ((t * 0.37) % 1.0),
+                5.0 + 89.0 * ((t * 0.61) % 1.0),
+                2.0 + 8.0 * ((t * 0.23) % 1.0),
+            )
+        })
+        .collect();
+    for &(x, y, r) in &script {
+        let p = Point::new(x, y);
+        map.add_sensor(p, r);
+        table.on_sensor_added(&map, p, r);
+        engine.on_sensor_added(&map, p, r);
+    }
+    // Kill every third sensor, then revive every second killed one.
+    for sid in (0..map.n_sensors()).step_by(3) {
+        if map.deactivate_sensor(sid) {
+            let (pos, r) = (map.sensor_pos(sid), map.sensor_rs(sid));
+            table.on_sensor_removed(&map, pos, r);
+            engine.on_sensor_removed(&map, pos, r);
+        }
+    }
+    for sid in (0..map.n_sensors()).step_by(6) {
+        if map.reactivate_sensor(sid) {
+            let (pos, r) = (map.sensor_pos(sid), map.sensor_rs(sid));
+            table.on_sensor_added(&map, pos, r);
+            engine.on_sensor_added(&map, pos, r);
+        }
+    }
+    map.verify_consistency();
+    assert_all_views_agree(&map, &table, &mut engine, &cands, cfg.rs, cfg.k);
+}

@@ -1,0 +1,271 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` harness entry
+//! points, `Criterion::bench_function`, benchmark groups, `Bencher::iter`
+//! and `Bencher::iter_batched`, with real wall-clock measurement. Each
+//! benchmark reports min/median/mean nanoseconds per iteration on stdout;
+//! when `CRITERION_JSON` names a file, a JSON line per benchmark is
+//! appended there (used to commit bench summaries like `BENCH_PR1.json`).
+//!
+//! Tuning knobs (environment):
+//! - `CRITERION_SAMPLES` — target sample count (default: group sample
+//!   size, itself defaulting to 20);
+//! - `CRITERION_MAX_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 2000).
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (shim: ignored, every sample
+/// reruns setup outside the timed section).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement statistics for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// Benchmark identifier (`group/name` when grouped).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds.
+    pub median_ns: f64,
+    /// Mean sample, nanoseconds.
+    pub mean_ns: f64,
+}
+
+fn max_measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MAX_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000u64);
+    Duration::from_millis(ms)
+}
+
+fn target_samples(group_default: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(group_default)
+        .max(1)
+}
+
+/// Times one closure invocation per sample until the sample target or
+/// the time budget is reached; always takes at least one sample.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    target: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(target: usize, budget: Duration) -> Self {
+        Bencher {
+            samples_ns: Vec::new(),
+            target,
+            budget,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call (untimed) to populate caches/allocators.
+        black_box(routine());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if self.samples_ns.len() >= self.target || started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if self.samples_ns.len() >= self.target || started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    fn finish(self, id: &str) -> Sampled {
+        let mut s = self.samples_ns;
+        assert!(!s.is_empty(), "benchmark {id} took no samples");
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = s[0];
+        let median = if s.len() % 2 == 1 {
+            s[s.len() / 2]
+        } else {
+            (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+        };
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        Sampled {
+            id: id.to_owned(),
+            samples: s.len(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        }
+    }
+}
+
+fn report(r: &Sampled) {
+    println!(
+        "bench {:<48} samples {:>4}  min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns",
+        r.id, r.samples, r.min_ns, r.median_ns, r.mean_ns
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{}\",\"samples\":{},\"min_ns\":{:.0},\"median_ns\":{:.0},\"mean_ns\":{:.0}}}",
+                r.id.replace('"', "'"),
+                r.samples,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns
+            );
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(target_samples(20), max_measure_budget());
+        f(&mut b);
+        report(&b.finish(id));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time (shim: ignored; use `CRITERION_MAX_MS`).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(target_samples(self.sample_size), max_measure_budget());
+        f(&mut b);
+        report(&b.finish(&format!("{}/{}", self.name, id)));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        std::env::remove_var("CRITERION_JSON");
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(3u64 * 7)));
+    }
+
+    #[test]
+    fn grouped_iter_batched_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, built
+//! directly on `std::thread::scope` (stable since Rust 1.63, which makes
+//! the real crossbeam scope machinery unnecessary here). The spawned
+//! closure receives a placeholder scope handle — the workspace never
+//! spawns nested threads from inside a worker.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to spawned closures. Nested spawning is not
+    /// supported by this shim (the workspace never uses it).
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope;
+
+    /// A scope within which threads can borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is a
+        /// placeholder (crossbeam passes the scope for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Creates a scope; all threads spawned within are joined before it
+    /// returns. Always `Ok`: panics in workers propagate on `join`, and a
+    /// panicking un-joined worker propagates out of `scope` itself
+    /// (matching std semantics rather than crossbeam's collected error).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_on_join() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the workspace tests use: the [`proptest!`] macro
+//! with an optional `#![proptest_config(...)]` header, range/tuple/map/
+//! collection strategies, `any::<T>()` for `u64` and
+//! [`prop::sample::Index`], and the `prop_assert*` / `prop_assume!`
+//! macros. Differences from upstream: no shrinking (a failing case panics
+//! with the plain assertion message) and per-test deterministic seeding
+//! (derived from the test name, overridable via `PROPTEST_RNG_SEED`).
+//! Case counts honor `PROPTEST_CASES` when set.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Effective case count: `PROPTEST_CASES` env override, else the
+        /// configured value.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG driving value generation for one test.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name (stable across runs and platforms),
+        /// or from `PROPTEST_RNG_SEED` when set.
+        pub fn deterministic(test_name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty draw range");
+            self.next_u64() % n
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking in the shim).
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    /// Types with a canonical strategy, usable via [`any`].
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::prop::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::prop::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The canonical strategy for `T` (see [`Arbitrary`]).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        /// `Vec` strategy with length in `len` and elements from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy {
+                elem,
+                min: len.start,
+                max_exclusive: len.end,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.max_exclusive - self.min) as u64;
+                let n = self.min + rng.below(span.max(1)) as usize;
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Index-style sampling helpers.
+
+        /// An index into a collection whose size is only known at use
+        /// time: `index(len)` maps the raw draw uniformly into `0..len`.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Wraps a raw 64-bit draw.
+            pub fn from_raw(raw: u64) -> Self {
+                Index(raw)
+            }
+
+            /// Maps the draw into `0..size`. Panics when `size == 0`.
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "cannot index into an empty collection");
+                ((self.0 as u128 * size as u128) >> 64) as usize
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude::*`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.effective_cases() {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                let run = move || $body;
+                let guard = $crate::CaseContext::enter(case, stringify!($name));
+                run();
+                guard.pass();
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// Prints the failing case number when a case body panics, since the
+/// shim has no shrinker to replay inputs.
+pub struct CaseContext {
+    case: u32,
+    name: &'static str,
+    passed: bool,
+}
+
+impl CaseContext {
+    /// Marks entry into a generated case.
+    pub fn enter(case: u32, name: &'static str) -> Self {
+        CaseContext {
+            case,
+            name,
+            passed: false,
+        }
+    }
+
+    /// Marks the case as passed (suppresses the drop report).
+    pub fn pass(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseContext {
+    fn drop(&mut self) {
+        if !self.passed {
+            eprintln!(
+                "proptest shim: test {} failed at generated case #{}",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..1.0f64, n in 3u32..9, i in 0usize..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(i < 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u64..10, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn index_maps_into_collection(idx in any::<prop::sample::Index>()) {
+            let i = idx.index(13);
+            prop_assert!(i < 13);
+        }
+
+        #[test]
+        fn prop_map_applies(p in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        let s = 0.0..1.0f64;
+        let va: Vec<f64> = (0..16).map(|_| s.new_value(&mut a)).collect();
+        let vb: Vec<f64> = (0..16).map(|_| s.new_value(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros
+//! from the vendored `serde_derive`. Nothing in this workspace actually
+//! serializes (no serde_json in the image); the traits exist so type
+//! declarations keep the upstream-compatible shape.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline no-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its data types for downstream
+//! consumers, but nothing in-tree serializes (there is no serde_json in
+//! the image). The shim accepts the derive syntax — including `#[serde]`
+//! attributes — and emits no impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
