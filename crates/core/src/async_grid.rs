@@ -283,6 +283,7 @@ impl Placer for AsyncGridDecor {
             cells: populated,
             per_cell: notices_sent as f64 / populated as f64,
             per_node_rotated: notices_sent as f64 / total_members.max(1) as f64,
+            ..MessageStats::default()
         };
         out
     }

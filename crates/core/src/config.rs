@@ -2,6 +2,79 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Radio-link reliability knobs: the lossy-medium model plus the reliable
+/// transport that placement notices ride on (see `decor_net::transport`).
+///
+/// The default is a perfect medium (`loss_rate = 0`), under which the
+/// distributed placers behave bit-identically to a world without packet
+/// loss. With `loss_rate > 0` each transmission is independently dropped
+/// with that probability and the transport's ack/retry machinery earns its
+/// keep; `max_retries`/`backoff_base` bound how hard it tries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Per-transmission loss probability in `[0, 1)`.
+    pub loss_rate: f64,
+    /// Seed of the deterministic loss stream.
+    pub loss_seed: u64,
+    /// Maximum retransmissions per reliably-sent message.
+    pub max_retries: u32,
+    /// Ticks before the first retransmission; doubles per retry.
+    pub backoff_base: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        let t = decor_net::TransportConfig::default();
+        LinkConfig {
+            loss_rate: 0.0,
+            loss_seed: 0,
+            max_retries: t.max_retries,
+            backoff_base: t.backoff_base,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A lossy medium with the default transport knobs.
+    pub fn lossy(loss_rate: f64, loss_seed: u64) -> Self {
+        LinkConfig {
+            loss_rate,
+            loss_seed,
+            ..LinkConfig::default()
+        }
+    }
+
+    /// The transport-layer view of these knobs.
+    pub fn transport(&self) -> decor_net::TransportConfig {
+        decor_net::TransportConfig {
+            max_retries: self.max_retries,
+            backoff_base: self.backoff_base,
+        }
+    }
+
+    /// True when the medium drops packets.
+    pub fn is_lossy(&self) -> bool {
+        self.loss_rate > 0.0
+    }
+
+    /// Applies the loss model to a network.
+    pub fn apply(&self, net: &mut decor_net::Network) {
+        if self.is_lossy() {
+            net.set_loss(self.loss_rate, self.loss_seed);
+        }
+    }
+
+    /// Validates invariants; [`DeploymentConfig::validate`] calls this.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.loss_rate),
+            "loss rate must be in [0, 1), got {}",
+            self.loss_rate
+        );
+        assert!(self.backoff_base > 0, "backoff base must be positive");
+    }
+}
+
 /// Parameters of a coverage-restoration run.
 ///
 /// Defaults reproduce the paper's setup: sensing radius `rs = 4`,
@@ -22,6 +95,8 @@ pub struct DeploymentConfig {
     /// Hard cap on sensors a placer may add (loop-safety for the random
     /// baseline and adversarial configurations).
     pub max_new_nodes: usize,
+    /// Radio-link reliability: lossy-medium model and transport knobs.
+    pub link: LinkConfig,
 }
 
 impl Default for DeploymentConfig {
@@ -31,6 +106,7 @@ impl Default for DeploymentConfig {
             rc: 8.0,
             k: 3,
             max_new_nodes: 100_000,
+            link: LinkConfig::default(),
         }
     }
 }
@@ -55,6 +131,7 @@ impl DeploymentConfig {
         );
         assert!(self.k >= 1, "coverage requirement k must be at least 1");
         assert!(self.max_new_nodes > 0, "max_new_nodes must be positive");
+        self.link.validate();
     }
 }
 
@@ -140,6 +217,32 @@ mod tests {
     fn validate_rejects_zero_k() {
         DeploymentConfig {
             k: 0,
+            ..DeploymentConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn default_link_is_lossless() {
+        let link = LinkConfig::default();
+        assert!(!link.is_lossy());
+        link.validate();
+        assert_eq!(link.transport(), decor_net::TransportConfig::default());
+    }
+
+    #[test]
+    fn lossy_link_applies_to_networks() {
+        let link = LinkConfig::lossy(0.3, 7);
+        assert!(link.is_lossy());
+        link.validate();
+        assert_eq!(link.max_retries, LinkConfig::default().max_retries);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1)")]
+    fn validate_rejects_certain_loss() {
+        DeploymentConfig {
+            link: LinkConfig::lossy(1.0, 0),
             ..DeploymentConfig::default()
         }
         .validate();

@@ -23,14 +23,25 @@
 //! new sensor's disk overlaps. Leaders communicate directly, which requires
 //! `rc >= 2·√2·cell` (the paper's `rc = 10·√2` for 5×5 cells); the scheme
 //! configures its accounting network accordingly.
+//!
+//! On a lossy medium (`cfg.link.loss_rate > 0`) those notices ride the
+//! reliable transport (`decor_net::transport`). A notice that exhausts its
+//! retry budget leaves the *cell* blind to the announced sensor
+//! ([`crate::NeighborKnowledge`], keyed by cell index — cell members share
+//! a blackboard, so whoever leads next round inherits the gap), and the
+//! blind cell may re-cover the border redundantly. The transport bounds
+//! that waste; the fire-and-forget reference path would let it grow
+//! silently.
 
 use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
 use crate::engine::ShardedBenefitEngine;
+use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
 use decor_geom::{Aabb, Point};
-use decor_net::{rotation_leader, Message, Network, NodeId};
+use decor_net::{rotation_leader, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Grid-based DECOR with square cells of edge `cell_size`.
 #[derive(Clone, Copy, Debug)]
@@ -128,14 +139,29 @@ impl Cells {
 }
 
 impl GridDecor {
+    /// Coverage of point `pid` as the cell sees it: ground truth minus the
+    /// sensors whose placement notices never reached this cell.
+    fn estimated_coverage(map: &CoverageMap, pid: usize, hidden: Option<&BTreeSet<usize>>) -> u32 {
+        match hidden {
+            None => map.coverage(pid),
+            Some(h) => map
+                .sensors_covering(map.points()[pid])
+                .into_iter()
+                .filter(|sid| !h.contains(sid))
+                .count() as u32,
+        }
+    }
+
     /// Benefit of placing at point `pid`, truncated to the points of cell
-    /// `ci` — the leader's knowledge horizon.
+    /// `ci` — the leader's knowledge horizon (further truncated by the
+    /// cell's notice blind spots, if any).
     fn cell_benefit(
         map: &CoverageMap,
         cells: &Cells,
         ci: usize,
         pid: usize,
         cfg: &DeploymentConfig,
+        hidden: Option<&BTreeSet<usize>>,
     ) -> u64 {
         let c = map.points()[pid];
         let rs_sq = cfg.rs * cfg.rs;
@@ -143,7 +169,7 @@ impl GridDecor {
         for &qid in &cells.points[ci] {
             let q = map.points()[qid];
             if q.dist_sq(c) <= rs_sq {
-                let kp = map.coverage(qid);
+                let kp = Self::estimated_coverage(map, qid, hidden);
                 if kp < cfg.k {
                     b += (cfg.k - kp) as u64;
                 }
@@ -154,14 +180,15 @@ impl GridDecor {
 
     /// The best candidate point of cell `ci`: among the cell's deficient
     /// points, the one of maximum truncated benefit (ties to lowest id).
-    /// Shared with the asynchronous implementation.
+    /// Shared with the asynchronous implementation (which runs on a perfect
+    /// medium, hence no blind spots).
     pub(crate) fn best_candidate_for(
         map: &CoverageMap,
         cells: &Cells,
         ci: usize,
         cfg: &DeploymentConfig,
     ) -> Option<(usize, u64)> {
-        Self::best_candidate(map, cells, ci, cfg)
+        Self::best_candidate(map, cells, ci, cfg, None)
     }
 
     fn best_candidate(
@@ -169,13 +196,14 @@ impl GridDecor {
         cells: &Cells,
         ci: usize,
         cfg: &DeploymentConfig,
+        hidden: Option<&BTreeSet<usize>>,
     ) -> Option<(usize, u64)> {
         let mut best: Option<(usize, u64)> = None;
         for &pid in &cells.points[ci] {
-            if map.coverage(pid) >= cfg.k {
+            if Self::estimated_coverage(map, pid, hidden) >= cfg.k {
                 continue;
             }
-            let b = Self::cell_benefit(map, cells, ci, pid, cfg);
+            let b = Self::cell_benefit(map, cells, ci, pid, cfg, hidden);
             if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
                 best = Some((pid, b));
             }
@@ -186,17 +214,23 @@ impl GridDecor {
     /// Per-cell best query, answered by the sharded engine when one is in
     /// use (cached per-cell maxima, delta-maintained) and by the direct
     /// O(cell²) scan otherwise. Both produce identical results — the
-    /// equivalence is tested below.
+    /// equivalence is tested below. The engine path assumes ground-truth
+    /// coverage, so `place_impl` never enables it on a lossy medium (where
+    /// estimates also depend on the knowledge ledger).
     fn cell_best(
         engine: &mut Option<ShardedBenefitEngine>,
         map: &CoverageMap,
         cells: &Cells,
         ci: usize,
         cfg: &DeploymentConfig,
+        hidden: Option<&BTreeSet<usize>>,
     ) -> Option<(usize, u64)> {
         match engine.as_mut() {
-            Some(e) => e.best_in_shard(map, ci),
-            None => Self::best_candidate(map, cells, ci, cfg),
+            Some(e) => {
+                debug_assert!(hidden.is_none(), "engine requires ground-truth coverage");
+                e.best_in_shard(map, ci)
+            }
+            None => Self::best_candidate(map, cells, ci, cfg, hidden),
         }
     }
 }
@@ -207,32 +241,45 @@ impl Placer for GridDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
-        self.place_impl(map, cfg, true)
+        self.place_impl(map, cfg, true, true)
     }
 }
 
 impl GridDecor {
     /// Implementation behind [`Placer::place`]. `use_engine` switches
     /// between the sharded engine with per-cell cached maxima (production)
-    /// and the direct O(cell²) per-cell scan (reference); the differential
-    /// test below pins the two paths to identical outcomes.
+    /// and the direct O(cell²) per-cell scan (reference); `use_transport`
+    /// between reliable ack/retry notices (production) and fire-and-forget
+    /// unicasts (the pre-transport reference, valid only on a loss-free
+    /// medium). Differential tests below pin the paths to identical
+    /// placements.
     fn place_impl(
         &self,
         map: &mut CoverageMap,
         cfg: &DeploymentConfig,
         use_engine: bool,
+        use_transport: bool,
     ) -> PlacementOutcome {
         cfg.validate();
         assert!(
             self.cell_size > 0.0 && self.cell_size.is_finite(),
             "cell size must be positive"
         );
+        let lossy = cfg.link.is_lossy();
+        // The engine caches ground-truth per-cell maxima; under loss the
+        // estimates also depend on the knowledge ledger, so scan directly.
+        let use_engine = use_engine && !lossy;
         let field = *map.field();
         let mut cells = Cells::new(&field, self.cell_size, map);
         // Inter-leader range: diagonal of a 2-cell block (the paper's
         // 10·√2 for 5×5 cells), never below the configured rc.
         let rc_grid = (2.0 * std::f64::consts::SQRT_2 * self.cell_size).max(cfg.rc);
         let mut net = Network::new(field);
+        cfg.link.apply(&mut net);
+        let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        // Viewer key: cell index. Cell members share a blackboard, so a
+        // missed notice blinds the whole cell across leader rotations.
+        let mut knowledge = NeighborKnowledge::new();
         for (_, pos) in map.active_sensors() {
             let nid = net.add_node(pos, cfg.rs, rc_grid);
             {
@@ -265,18 +312,22 @@ impl GridDecor {
                     continue;
                 }
                 let leader = rotation_leader(&cells.members[ci], round).expect("non-empty");
-                if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, ci, cfg) {
+                let hidden = knowledge.hidden_from(ci);
+                if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, ci, cfg, hidden) {
                     decisions.push((ci, leader, pid));
                     continue;
                 }
                 // Own cell covered: adopt one neighboring empty cell with
                 // deficient points, if any (lowest index, not yet claimed
-                // this round).
+                // this round). The adopting leader judges the empty cell
+                // with its own cell's knowledge.
                 for &nc in &cells.neighbors(ci) {
                     if !cells.members[nc].is_empty() || claimed_empty.contains(&nc) {
                         continue;
                     }
-                    if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, nc, cfg) {
+                    if let Some((pid, _)) =
+                        Self::cell_best(&mut engine, map, &cells, nc, cfg, hidden)
+                    {
                         claimed_empty.push(nc);
                         decisions.push((nc, leader, pid));
                         break;
@@ -294,10 +345,12 @@ impl GridDecor {
                 if map.count_below(cfg.k) == 0 {
                     break;
                 }
+                // Base-station dispatch plans from ground truth (no ledger).
                 let deficient_cell = (0..cells.len())
-                    .find(|&ci| Self::cell_best(&mut engine, map, &cells, ci, cfg).is_some());
+                    .find(|&ci| Self::cell_best(&mut engine, map, &cells, ci, cfg, None).is_some());
                 let Some(target) = deficient_cell else { break };
-                let (pid, _) = Self::cell_best(&mut engine, map, &cells, target, cfg).unwrap();
+                let (pid, _) =
+                    Self::cell_best(&mut engine, map, &cells, target, cfg, None).unwrap();
                 let seeder = (0..cells.len())
                     .filter(|&ci| !cells.members[ci].is_empty())
                     .min_by(|&a, &b| {
@@ -334,12 +387,15 @@ impl GridDecor {
             }
 
             // Apply all placements simultaneously, then send notices.
+            // (msg handle, notified cell, announced sensor) per transport
+            // notice of this round.
+            let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
             for &(ci, leader, pid) in &decisions {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
                 let pos = map.points()[pid];
-                map.add_sensor(pos, cfg.rs);
+                let new_sid = map.add_sensor(pos, cfg.rs);
                 if let Some(e) = engine.as_mut() {
                     e.on_sensor_added(map, pos, cfg.rs);
                 }
@@ -358,15 +414,45 @@ impl GridDecor {
                     }
                     if disk.intersects_aabb(&cells.rect(nc)) {
                         let nb_leader = rotation_leader(&cells.members[nc], round).unwrap();
-                        // Best effort: range failures (exotic geometries)
-                        // are modelled as multi-hop and still counted.
-                        if net
-                            .unicast(leader, nb_leader, Message::PlacementNotice { pos })
-                            .is_err()
-                        {
+                        match transport.as_mut() {
+                            Some(tr) => {
+                                let id =
+                                    tr.send(leader, nb_leader, Message::PlacementNotice { pos });
+                                pending.push((id, nc, new_sid));
+                            }
+                            None => {
+                                // Best effort: range failures (exotic
+                                // geometries) are modelled as multi-hop and
+                                // still counted.
+                                if net
+                                    .unicast(leader, nb_leader, Message::PlacementNotice { pos })
+                                    .is_err()
+                                {
+                                    net.stats.protocol_sent += 1;
+                                    net.stats.total_sent += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(tr) = transport.as_mut() {
+                let outcomes: BTreeMap<MsgId, DeliveryOutcome> =
+                    tr.flush(&mut net).into_iter().collect();
+                for (id, nc, new_sid) in pending {
+                    match outcomes.get(&id) {
+                        Some(DeliveryOutcome::Delivered { .. }) => {}
+                        // Exotic geometry put the peer leader out of direct
+                        // range: modelled as multi-hop (same as the legacy
+                        // path) — the notice arrives, at one message's cost.
+                        Some(DeliveryOutcome::PeerDown) => {
                             net.stats.protocol_sent += 1;
                             net.stats.total_sent += 1;
                         }
+                        // Retry budget exhausted (or unflushed, which
+                        // cannot happen): the cell never hears of the
+                        // sensor.
+                        _ => knowledge.hide(nc, new_sid),
                     }
                 }
             }
@@ -385,11 +471,24 @@ impl GridDecor {
         out.fully_covered = map.count_below(cfg.k) == 0;
         let populated = cells.members.iter().filter(|m| !m.is_empty()).count();
         let total_members: usize = cells.members.iter().map(Vec::len).sum();
+        let (retries, acks, notices_gave_up, duplicates_suppressed) = match &transport {
+            Some(tr) => (
+                tr.stats.retries,
+                tr.stats.acks,
+                tr.stats.gave_up,
+                tr.stats.duplicates_suppressed,
+            ),
+            None => (0, 0, 0, 0),
+        };
         out.messages = MessageStats {
             protocol_total: net.stats.protocol_sent,
             cells: populated.max(1),
             per_cell: net.stats.protocol_sent as f64 / populated.max(1) as f64,
             per_node_rotated: net.stats.protocol_sent as f64 / total_members.max(1) as f64,
+            retries,
+            acks,
+            notices_gave_up,
+            duplicates_suppressed,
         };
         out
     }
@@ -520,12 +619,60 @@ mod tests {
             let (mut m_engine, cfg) = setup(k, 600, initial, 11);
             let mut m_direct = m_engine.clone();
             let placer = GridDecor { cell_size: cell };
-            let a = placer.place_impl(&mut m_engine, &cfg, true);
-            let b = placer.place_impl(&mut m_direct, &cfg, false);
+            let a = placer.place_impl(&mut m_engine, &cfg, true, true);
+            let b = placer.place_impl(&mut m_direct, &cfg, false, true);
             assert_eq!(a.placed, b.placed, "k={k} initial={initial} cell={cell}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);
             assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        }
+    }
+
+    #[test]
+    fn transport_path_matches_legacy_at_zero_loss() {
+        // On a loss-free medium the reliable transport must not change a
+        // single placement decision; only the accounting gains ack frames.
+        for (k, initial, cell) in [(1u32, 30usize, 5.0), (2, 60, 10.0)] {
+            let (mut m_tr, cfg) = setup(k, 500, initial, 15);
+            let mut m_legacy = m_tr.clone();
+            let placer = GridDecor { cell_size: cell };
+            let a = placer.place_impl(&mut m_tr, &cfg, true, true);
+            let b = placer.place_impl(&mut m_legacy, &cfg, true, false);
+            assert_eq!(a.placed, b.placed, "k={k} cell={cell}");
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.fully_covered, b.fully_covered);
+            assert_eq!(a.messages.retries, 0, "no loss, no retries");
+            assert_eq!(a.messages.notices_gave_up, 0);
+            assert!(a.messages.acks > 0);
+            assert!(a.messages.protocol_total > b.messages.protocol_total);
+        }
+    }
+
+    #[test]
+    fn converges_under_heavy_loss() {
+        // At 10% and 30% loss the transport keeps the grid convergent:
+        // full k-coverage, retry traffic growing with the loss rate, and
+        // blind-spot duplicate placements bounded.
+        let (mut m_ref, cfg0) = setup(2, 500, 60, 21);
+        let baseline = GridDecor { cell_size: 5.0 }
+            .place(&mut m_ref, &cfg0)
+            .placed
+            .len();
+        let mut prev_retries = 0;
+        for loss in [0.1, 0.3] {
+            let (mut map, mut cfg) = setup(2, 500, 60, 21);
+            cfg.link = crate::LinkConfig::lossy(loss, 29);
+            let out = GridDecor { cell_size: 5.0 }.place(&mut map, &cfg);
+            assert!(out.fully_covered, "loss={loss} left deficient points");
+            assert!(map.min_coverage() >= 2);
+            assert!(out.messages.retries > prev_retries, "loss={loss}");
+            assert!(out.messages.acks > 0);
+            assert!(
+                out.placed.len() <= baseline + baseline / 2 + 5,
+                "loss={loss}: {} placed vs {baseline} baseline",
+                out.placed.len()
+            );
+            prev_retries = out.messages.retries;
         }
     }
 

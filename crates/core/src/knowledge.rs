@@ -1,0 +1,113 @@
+//! Per-viewer sensor knowledge under unreliable placement notices.
+//!
+//! The distributed schemes estimate coverage from *local knowledge*: a
+//! viewer (a Voronoi agent, or a grid cell's leadership) knows the sensors
+//! it can hear plus the placements it was notified about (§3.2–3.3). On a
+//! perfect medium that knowledge matches the geometric model the schemes
+//! already use. On a lossy medium a placement notice can exhaust its retry
+//! budget and *never* arrive — the intended recipient then keeps planning
+//! as if the new sensor did not exist, which is exactly the border
+//! desynchronization the reliable transport bounds.
+//!
+//! [`NeighborKnowledge`] tracks only the *failure* side of that ledger: the
+//! sensors a given viewer provably was not told about. Everything else is
+//! known by default, which keeps the lossless path bit-identical to the
+//! geometric knowledge model (the empty ledger hides nothing).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sensors hidden from specific viewers by failed notice deliveries.
+///
+/// `Viewer` keys are scheme-defined: the Voronoi scheme uses the observing
+/// agent's sensor id, the grid scheme the observing cell's index (cell
+/// members share a blackboard — whoever leads the cell next round inherits
+/// what the cell was told).
+#[derive(Clone, Debug, Default)]
+pub struct NeighborKnowledge {
+    hidden: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl NeighborKnowledge {
+    /// An empty ledger: everyone knows everything.
+    pub fn new() -> Self {
+        NeighborKnowledge::default()
+    }
+
+    /// Records that `viewer` never learned of sensor `sid` (its placement
+    /// notice gave up).
+    pub fn hide(&mut self, viewer: usize, sid: usize) {
+        self.hidden.entry(viewer).or_default().insert(sid);
+    }
+
+    /// Reveals `sid` to `viewer` (e.g. a later notice about the same
+    /// border got through and carried the state across).
+    pub fn reveal(&mut self, viewer: usize, sid: usize) {
+        if let Some(set) = self.hidden.get_mut(&viewer) {
+            set.remove(&sid);
+            if set.is_empty() {
+                self.hidden.remove(&viewer);
+            }
+        }
+    }
+
+    /// Does `viewer` know about sensor `sid`? Defaults to `true`.
+    pub fn knows(&self, viewer: usize, sid: usize) -> bool {
+        self.hidden
+            .get(&viewer)
+            .is_none_or(|set| !set.contains(&sid))
+    }
+
+    /// The set of sensors hidden from `viewer`, if any.
+    pub fn hidden_from(&self, viewer: usize) -> Option<&BTreeSet<usize>> {
+        self.hidden.get(&viewer)
+    }
+
+    /// True when no viewer is missing anything — the lossless fast path.
+    pub fn is_empty(&self) -> bool {
+        self.hidden.is_empty()
+    }
+
+    /// Total number of (viewer, sensor) blind spots.
+    pub fn blind_spots(&self) -> usize {
+        self.hidden.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_knows_everything() {
+        let k = NeighborKnowledge::new();
+        assert!(k.knows(0, 0));
+        assert!(k.knows(7, 99));
+        assert!(k.is_empty());
+        assert_eq!(k.blind_spots(), 0);
+    }
+
+    #[test]
+    fn hide_and_reveal_round_trip() {
+        let mut k = NeighborKnowledge::new();
+        k.hide(3, 10);
+        k.hide(3, 11);
+        k.hide(5, 10);
+        assert!(!k.knows(3, 10));
+        assert!(!k.knows(5, 10));
+        assert!(k.knows(5, 11), "hiding is per-viewer");
+        assert_eq!(k.blind_spots(), 3);
+        assert_eq!(k.hidden_from(3).unwrap().len(), 2);
+        k.reveal(3, 10);
+        assert!(k.knows(3, 10));
+        k.reveal(3, 11);
+        k.reveal(5, 10);
+        assert!(k.is_empty(), "empty sets are pruned");
+    }
+
+    #[test]
+    fn reveal_of_unknown_pair_is_a_no_op() {
+        let mut k = NeighborKnowledge::new();
+        k.reveal(1, 2);
+        assert!(k.is_empty());
+    }
+}

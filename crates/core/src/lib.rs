@@ -31,6 +31,7 @@ pub mod coverage;
 pub mod diagnostics;
 pub mod engine;
 pub mod grid_scheme;
+pub mod knowledge;
 pub mod metrics;
 pub mod parallel;
 pub mod random_place;
@@ -42,11 +43,12 @@ pub mod voronoi_scheme;
 pub use async_grid::AsyncGridDecor;
 pub use benefit::{benefit_at, BenefitTable};
 pub use centralized::CentralizedGreedy;
-pub use config::{DeploymentConfig, SchemeKind};
+pub use config::{DeploymentConfig, LinkConfig, SchemeKind};
 pub use coverage::{CoverageMap, SensorId};
 pub use diagnostics::DeploymentDiagnostics;
 pub use engine::ShardedBenefitEngine;
 pub use grid_scheme::GridDecor;
+pub use knowledge::NeighborKnowledge;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
 pub use random_place::RandomPlacement;
 pub use redundancy::redundant_mask;

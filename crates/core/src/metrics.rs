@@ -26,6 +26,17 @@ pub struct MessageStats {
     /// (grid scheme; equals `per_cell` for Voronoi where every node is its
     /// own cell).
     pub per_node_rotated: f64,
+    /// Retransmissions performed by the reliable transport (counted inside
+    /// `protocol_total` too — a retry burns the same air time).
+    pub retries: u64,
+    /// Link-layer acknowledgements (also inside `protocol_total`).
+    pub acks: u64,
+    /// Placement notices whose retry budget ran out — each one is a
+    /// potential border blind spot at the recipient.
+    pub notices_gave_up: u64,
+    /// Data frames that arrived more than once and were suppressed at the
+    /// receiver (lost-ack retransmissions).
+    pub duplicates_suppressed: u64,
 }
 
 /// Everything a [`crate::Placer`] reports about a run.

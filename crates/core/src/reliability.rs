@@ -11,7 +11,9 @@
 /// Panics unless `q ∈ [0, 1]`.
 pub fn coverage_reliability(k: u32, q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "q must be a probability");
-    1.0 - q.powi(k as i32)
+    // powf, not powi: `k as i32` would wrap negative for k > i32::MAX,
+    // and powf stays monotone in k over the whole u32 range.
+    1.0 - q.powf(k as f64)
 }
 
 /// The smallest `k` achieving `coverage_reliability(k, q) >= target`.
@@ -47,10 +49,23 @@ pub fn required_k(target: f64, q: f64) -> Option<u32> {
         return None; // q in (0,1): no finite k reaches certainty
     }
     // 1 - q^k >= target  <=>  q^k <= 1 - target  <=>  k >= ln(1-t)/ln(q).
-    // The tiny slack absorbs float noise at exact integer boundaries
-    // (e.g. target 0.9, q 0.1 must yield k = 1, not 2).
-    let k = ((1.0 - target).ln() / q.ln() - 1e-9).ceil();
-    Some((k as u32).max(1))
+    // The float quotient is only a starting estimate: at exact integer
+    // boundaries (target 0.9, q 0.1) log noise can land one off in either
+    // direction, so verify against `coverage_reliability` itself and walk
+    // to the true minimum instead of papering over with an epsilon.
+    let est = ((1.0 - target).ln() / q.ln()).ceil();
+    let mut k = if est.is_finite() && est >= 1.0 {
+        (est as u32).max(1)
+    } else {
+        1
+    };
+    while coverage_reliability(k, q) < target {
+        k = k.checked_add(1).expect("required k exceeds u32 range");
+    }
+    while k > 1 && coverage_reliability(k - 1, q) >= target {
+        k -= 1;
+    }
+    Some(k)
 }
 
 #[cfg(test)]
@@ -83,13 +98,48 @@ mod tests {
             for &target in &[0.5, 0.9, 0.99, 0.999] {
                 let k = required_k(target, q).unwrap();
                 assert!(
-                    coverage_reliability(k, q) >= target - 1e-9,
+                    coverage_reliability(k, q) >= target,
                     "k={k} too small for q={q}, target={target}"
                 );
                 if k > 1 {
                     assert!(
                         coverage_reliability(k - 1, q) < target,
                         "k={k} not minimal for q={q}, target={target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_k_is_exact_at_integer_boundaries() {
+        // The old `- 1e-9` slack papered over these; the verify-and-adjust
+        // implementation must get them exactly right: 1 - q^k == target.
+        assert_eq!(required_k(0.9, 0.1), Some(1));
+        assert_eq!(required_k(0.99, 0.1), Some(2));
+        assert_eq!(required_k(0.999, 0.1), Some(3));
+        assert_eq!(required_k(0.75, 0.5), Some(2));
+        assert_eq!(required_k(0.875, 0.5), Some(3));
+        // Just past the boundary needs one more sensor.
+        assert_eq!(required_k(0.9000001, 0.1), Some(2));
+        // Just below it does not.
+        assert_eq!(required_k(0.8999999, 0.1), Some(1));
+    }
+
+    #[test]
+    fn required_k_is_minimal_exhaustively() {
+        // Brute-force cross-check on a grid of (target, q): the returned k
+        // satisfies the target and k-1 does not.
+        for qi in 1..20 {
+            let q = qi as f64 / 20.0;
+            for ti in 1..40 {
+                let target = ti as f64 / 40.0;
+                let k = required_k(target, q).unwrap();
+                assert!(coverage_reliability(k, q) >= target, "q={q} t={target}");
+                if k > 1 {
+                    assert!(
+                        coverage_reliability(k - 1, q) < target,
+                        "q={q} t={target} k={k} not minimal"
                     );
                 }
             }

@@ -52,9 +52,12 @@ pub fn fail_and_restore(
 ) -> RestorationReport {
     cfg.validate();
     // Mirror the active sensors into a network for failure selection and
-    // detection. Network node i corresponds to sensors[i] below.
+    // detection. Network node i corresponds to sensors[i] below. The
+    // configured link loss applies here too, so heartbeat detection runs
+    // over the same medium the restoration placer will use.
     let sensors = map.active_sensors();
     let mut net = Network::new(*map.field());
+    cfg.link.apply(&mut net);
     for &(_, pos) in &sensors {
         net.add_node(pos, cfg.rs, cfg.rc);
     }

@@ -23,13 +23,22 @@
 //! each of its 1-hop neighbors, so per-placement traffic grows with the
 //! neighborhood size, i.e. with `rc` — the paper's "analogous to the
 //! communication radius" observation.
+//!
+//! On a lossy medium (`cfg.link.loss_rate > 0`) notices ride the reliable
+//! transport (`decor_net::transport`): acks, bounded retries, duplicate
+//! suppression. A notice whose retry budget runs out leaves the intended
+//! recipient blind to the new sensor ([`crate::NeighborKnowledge`]) — it
+//! may then place a redundant border sensor, which is exactly the paper's
+//! desynchronization failure mode, bounded here by the transport instead
+//! of silent.
 
 use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
+use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
-use decor_net::{Message, Network, NodeId};
-use std::collections::BTreeMap;
+use decor_net::{Message, MsgId, Network, NodeId, Transport};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Voronoi-based DECOR. `rc` overrides the config's communication radius
 /// (the paper evaluates `rc = 8` and `rc = 10·√2 ≈ 14.14`).
@@ -45,17 +54,22 @@ const MAX_ROUNDS: usize = 100_000;
 
 impl VoronoiDecor {
     /// Coverage of point `p` as estimated by the agent at `viewer`:
-    /// the number of *known* sensors (within `rc` of the viewer) covering
-    /// `p`. `coverers` are the true coverers of `p` (id, position).
+    /// the number of *known* sensors (within `rc` of the viewer, minus any
+    /// in `hidden` — sensors whose placement notice never reached this
+    /// viewer) covering `p`. `coverers` are the true coverers of `p`
+    /// (id, position).
     fn estimate(
         viewer: decor_geom::Point,
         coverers: &[(usize, decor_geom::Point)],
         rc: f64,
+        hidden: Option<&BTreeSet<usize>>,
     ) -> u32 {
         let rc_sq = rc * rc;
         coverers
             .iter()
-            .filter(|&&(_, cpos)| viewer.dist_sq(cpos) <= rc_sq)
+            .filter(|&&(cid, cpos)| {
+                viewer.dist_sq(cpos) <= rc_sq && hidden.is_none_or(|h| !h.contains(&cid))
+            })
             .count() as u32
     }
 
@@ -65,7 +79,14 @@ impl VoronoiDecor {
     /// point (candidate owners are within `rc`, and a coverer is within
     /// `rs <= rc`), which is what lets rounds cache it per point and
     /// invalidate just the `rc`-disk of each new placement.
-    fn point_owners(map: &CoverageMap, pid: usize, rc: f64, rc_sq: f64, k: u32) -> Vec<usize> {
+    fn point_owners(
+        map: &CoverageMap,
+        pid: usize,
+        rc: f64,
+        rc_sq: f64,
+        k: u32,
+        knowledge: &NeighborKnowledge,
+    ) -> Vec<usize> {
         let p = map.points()[pid];
         // Agents that could own p.
         let mut cands: Vec<(usize, decor_geom::Point, f64)> = Vec::new();
@@ -83,14 +104,15 @@ impl VoronoiDecor {
             .collect();
         let mut out = Vec::new();
         for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
-            if Self::estimate(spos, &coverers, rc) >= k {
+            let hidden = knowledge.hidden_from(sid);
+            if Self::estimate(spos, &coverers, rc, hidden) >= k {
                 continue; // this agent believes p is fine
             }
-            // Local ownership: no agent closer to p is a 1-hop
-            // neighbor of this one.
+            // Local ownership: no agent closer to p is a 1-hop neighbor of
+            // this one. An agent it never learned about cannot defer it.
             let blocked = cands[..idx]
                 .iter()
-                .any(|&(_, cpos, _)| spos.dist_sq(cpos) <= rc_sq);
+                .any(|&(cid, cpos, _)| spos.dist_sq(cpos) <= rc_sq && knowledge.knows(sid, cid));
             if !blocked {
                 out.push(sid);
             }
@@ -107,6 +129,7 @@ impl VoronoiDecor {
         c: decor_geom::Point,
         cfg: &DeploymentConfig,
         rc: f64,
+        hidden: Option<&BTreeSet<usize>>,
     ) -> u64 {
         let rc_sq = rc * rc;
         let mut b = 0u64;
@@ -123,7 +146,7 @@ impl VoronoiDecor {
                 .into_iter()
                 .map(|sid| (sid, map.sensor_pos(sid)))
                 .collect();
-            let est = Self::estimate(viewer, &coverers, rc);
+            let est = Self::estimate(viewer, &coverers, rc, hidden);
             if est < cfg.k {
                 b += (cfg.k - est) as u64;
             }
@@ -138,7 +161,7 @@ impl Placer for VoronoiDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
-        self.place_impl(map, cfg, true)
+        self.place_impl(map, cfg, true, true)
     }
 }
 
@@ -146,13 +169,18 @@ impl VoronoiDecor {
     /// Implementation behind [`Placer::place`]. With `use_cache` the
     /// per-point ownership results are reused across rounds and only the
     /// `rc`-disk of each new placement is recomputed (production); without
-    /// it every point is recomputed every round (reference). The
-    /// differential test below pins the two paths to identical outcomes.
+    /// it every point is recomputed every round (reference). With
+    /// `use_transport` placement notices ride the reliable ack/retry
+    /// transport (production); without it they are fire-and-forget
+    /// unicasts (the pre-transport reference, valid only on a loss-free
+    /// medium). Differential tests below pin the paths to identical
+    /// placements.
     fn place_impl(
         &self,
         map: &mut CoverageMap,
         cfg: &DeploymentConfig,
         use_cache: bool,
+        use_transport: bool,
     ) -> PlacementOutcome {
         cfg.validate();
         let rc = self.rc;
@@ -161,12 +189,22 @@ impl VoronoiDecor {
             "Voronoi scheme needs rc >= rs (got rc={rc}, rs={})",
             cfg.rs
         );
+        let lossy = cfg.link.is_lossy();
+        // The ownership cache assumes estimates depend only on geometry;
+        // under loss they also depend on the evolving knowledge ledger, so
+        // fall back to full recomputation.
+        let use_cache = use_cache && !lossy;
         let field = *map.field();
         let mut net = Network::new(field);
+        cfg.link.apply(&mut net);
+        let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        let mut knowledge = NeighborKnowledge::new();
         let mut net_of: BTreeMap<usize, NodeId> = BTreeMap::new();
+        let mut sid_of: BTreeMap<NodeId, usize> = BTreeMap::new();
         for (sid, pos) in map.active_sensors() {
             let nid = net.add_node(pos, cfg.rs, rc);
             net_of.insert(sid, nid);
+            sid_of.insert(nid, sid);
         }
         let initial = map.n_active_sensors();
         let mut out = PlacementOutcome {
@@ -194,7 +232,7 @@ impl VoronoiDecor {
             }
             for pid in 0..map.n_points() {
                 if owners_dirty[pid] {
-                    owners[pid] = Self::point_owners(map, pid, rc, rc_sq, cfg.k);
+                    owners[pid] = Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge);
                     owners_dirty[pid] = false;
                 }
             }
@@ -209,9 +247,10 @@ impl VoronoiDecor {
             let mut decisions: Vec<(usize, usize)> = Vec::new(); // (agent sid, point id)
             for (&sid, pids) in &owned_deficient {
                 let viewer = map.sensor_pos(sid);
+                let hidden = knowledge.hidden_from(sid);
                 let mut best: Option<(usize, u64)> = None;
                 for &pid in pids {
-                    let b = Self::est_benefit(map, viewer, map.points()[pid], cfg, rc);
+                    let b = Self::est_benefit(map, viewer, map.points()[pid], cfg, rc, hidden);
                     if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
                         best = Some((pid, b));
                     }
@@ -245,6 +284,7 @@ impl VoronoiDecor {
                 map.for_each_point_within_unordered(pos, rc, |pid, _| owners_dirty[pid] = true);
                 let nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(sid, nid);
+                sid_of.insert(nid, sid);
                 out.placed.push(pos);
                 rounds += 1;
                 out.trace.push(TracePoint {
@@ -255,6 +295,9 @@ impl VoronoiDecor {
             }
 
             // ---- Apply phase ----
+            // (msg handle, recipient sensor, announced sensor) for every
+            // notice handed to the transport this round.
+            let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
             for &(agent_sid, pid) in &decisions {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
@@ -264,13 +307,36 @@ impl VoronoiDecor {
                 map.for_each_point_within_unordered(pos, rc, |qid, _| owners_dirty[qid] = true);
                 let new_nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(new_sid, new_nid);
+                sid_of.insert(new_nid, new_sid);
                 out.placed.push(pos);
                 // Placement notice: one unicast per 1-hop neighbor of the
                 // placing agent (traffic grows with rc — Fig. 10).
                 let agent_nid = net_of[&agent_sid];
                 let nbs = net.neighbors_of(agent_nid);
-                for nb in nbs {
-                    let _ = net.unicast(agent_nid, nb, Message::PlacementNotice { pos });
+                match transport.as_mut() {
+                    Some(tr) => {
+                        for nb in nbs {
+                            let id = tr.send(agent_nid, nb, Message::PlacementNotice { pos });
+                            pending.push((id, sid_of[&nb], new_sid));
+                        }
+                    }
+                    None => {
+                        for nb in nbs {
+                            let _ = net.unicast(agent_nid, nb, Message::PlacementNotice { pos });
+                        }
+                    }
+                }
+            }
+            if let Some(tr) = transport.as_mut() {
+                let outcomes: BTreeMap<MsgId, _> = tr.flush(&mut net).into_iter().collect();
+                for (id, recipient_sid, new_sid) in pending {
+                    // A GaveUp notice *may* still have arrived (lost acks
+                    // only); the sender cannot tell, so the model takes the
+                    // pessimistic branch and treats the recipient as blind.
+                    let delivered = outcomes.get(&id).is_some_and(|o| o.is_delivered());
+                    if !delivered {
+                        knowledge.hide(recipient_sid, new_sid);
+                    }
                 }
             }
 
@@ -287,11 +353,24 @@ impl VoronoiDecor {
         out.rounds = rounds;
         out.fully_covered = map.count_below(cfg.k) == 0;
         let agents = map.n_active_sensors().max(1);
+        let (retries, acks, notices_gave_up, duplicates_suppressed) = match &transport {
+            Some(tr) => (
+                tr.stats.retries,
+                tr.stats.acks,
+                tr.stats.gave_up,
+                tr.stats.duplicates_suppressed,
+            ),
+            None => (0, 0, 0, 0),
+        };
         out.messages = MessageStats {
             protocol_total: net.stats.protocol_sent,
             cells: agents,
             per_cell: net.stats.protocol_sent as f64 / agents as f64,
             per_node_rotated: net.stats.protocol_sent as f64 / agents as f64,
+            retries,
+            acks,
+            notices_gave_up,
+            duplicates_suppressed,
         };
         out
     }
@@ -429,12 +508,69 @@ mod tests {
             let (mut m_cached, cfg) = setup(k, 500, initial, 13);
             let mut m_fresh = m_cached.clone();
             let placer = VoronoiDecor { rc };
-            let a = placer.place_impl(&mut m_cached, &cfg, true);
-            let b = placer.place_impl(&mut m_fresh, &cfg, false);
+            let a = placer.place_impl(&mut m_cached, &cfg, true, true);
+            let b = placer.place_impl(&mut m_fresh, &cfg, false, true);
             assert_eq!(a.placed, b.placed, "k={k} initial={initial} rc={rc}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);
             assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        }
+    }
+
+    #[test]
+    fn transport_path_matches_legacy_at_zero_loss() {
+        // On a loss-free medium the reliable transport must not change a
+        // single placement decision: same sensors, same order, same rounds.
+        // Only the accounting differs (every notice now carries an ack).
+        for (k, initial, rc) in [(1u32, 40usize, 8.0), (2, 60, 14.142)] {
+            let (mut m_tr, cfg) = setup(k, 500, initial, 17);
+            let mut m_legacy = m_tr.clone();
+            let placer = VoronoiDecor { rc };
+            let a = placer.place_impl(&mut m_tr, &cfg, true, true);
+            let b = placer.place_impl(&mut m_legacy, &cfg, true, false);
+            assert_eq!(a.placed, b.placed, "k={k} rc={rc}");
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.fully_covered, b.fully_covered);
+            assert_eq!(a.messages.retries, 0, "no loss, no retries");
+            assert_eq!(a.messages.notices_gave_up, 0);
+            assert_eq!(
+                a.messages.acks, b.messages.protocol_total,
+                "one ack per legacy notice"
+            );
+            assert_eq!(
+                a.messages.protocol_total,
+                2 * b.messages.protocol_total,
+                "transport doubles traffic with acks at zero loss"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_under_heavy_loss() {
+        // At 10% and 30% loss the transport keeps the placers convergent:
+        // full k-coverage, retry/ack traffic visible, and the extra
+        // (blind-spot) placements bounded.
+        let (mut m_ref, cfg0) = setup(2, 500, 60, 19);
+        let baseline = VoronoiDecor { rc: 8.0 }
+            .place(&mut m_ref, &cfg0)
+            .placed
+            .len();
+        let mut prev_retries = 0;
+        for loss in [0.1, 0.3] {
+            let (mut map, mut cfg) = setup(2, 500, 60, 19);
+            cfg.link = crate::LinkConfig::lossy(loss, 23);
+            let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+            assert!(out.fully_covered, "loss={loss} left deficient points");
+            assert!(map.min_coverage() >= 2);
+            assert!(out.messages.retries > prev_retries, "loss={loss}");
+            assert!(out.messages.acks > 0);
+            // Desynchronization may waste sensors, but boundedly so.
+            assert!(
+                out.placed.len() <= baseline + baseline / 2 + 5,
+                "loss={loss}: {} placed vs {baseline} baseline",
+                out.placed.len()
+            );
+            prev_retries = out.messages.retries;
         }
     }
 
@@ -446,7 +582,13 @@ mod tests {
             (1, Point::new(9.0, 0.0)), // beyond
             (2, Point::new(7.9, 0.0)), // within
         ];
-        assert_eq!(VoronoiDecor::estimate(viewer, &coverers, 8.0), 2);
+        assert_eq!(VoronoiDecor::estimate(viewer, &coverers, 8.0, None), 2);
+        // A hidden sensor is invisible even in range.
+        let hidden: std::collections::BTreeSet<usize> = [2].into();
+        assert_eq!(
+            VoronoiDecor::estimate(viewer, &coverers, 8.0, Some(&hidden)),
+            1
+        );
     }
 
     #[test]

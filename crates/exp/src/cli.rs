@@ -120,19 +120,33 @@ pub fn sensors_from_csv(csv: &str) -> Result<Vec<(Point, f64)>, String> {
 }
 
 /// Builds the experiment parameters a CLI invocation describes.
+/// `--loss` (percent) puts every in-network exchange on a lossy medium;
+/// placement notices then ride the reliable transport, tunable with
+/// `--max-retries` and `--backoff`.
 pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), String> {
+    let loss_pct: u32 = args.num_or("loss", 0u32)?;
+    if loss_pct >= 100 {
+        return Err("flag --loss: must be below 100 (percent)".into());
+    }
     let params = ExpParams {
         field_side: args.num_or("field", 100.0)?,
         n_points: args.num_or("points", 2000)?,
         initial_nodes: args.num_or("initial", 200)?,
         seeds: 1,
         base_seed: args.num_or("seed", 1u64)?,
+        loss_pct,
     };
+    let mut link = params.link(params.base_seed);
+    link.loss_seed = args.num_or("loss-seed", link.loss_seed)?;
+    link.max_retries = args.num_or("max-retries", link.max_retries)?;
+    link.backoff_base = args.num_or("backoff", link.backoff_base)?;
+    link.validate();
     let cfg = DeploymentConfig {
         rs: args.num_or("rs", 4.0)?,
         rc: args.num_or("rc", 8.0)?,
         k: args.num_or("k", 3u32)?,
         max_new_nodes: args.num_or("max-nodes", 100_000usize)?,
+        link,
     };
     Ok((params, cfg))
 }
@@ -225,5 +239,24 @@ mod tests {
         assert_eq!(cfg.k, 2);
         assert_eq!(cfg.rs, 3.0);
         assert_eq!(cfg.rc, 9.0);
+        assert!(!cfg.link.is_lossy(), "lossless by default");
+    }
+
+    #[test]
+    fn loss_flags_build_the_link_config() {
+        let a = parse_args(&argv(
+            "deploy --loss 20 --loss-seed 99 --max-retries 5 --backoff 2",
+        ))
+        .unwrap();
+        let (p, cfg) = params_from(&a).unwrap();
+        assert_eq!(p.loss_pct, 20);
+        assert!(cfg.link.is_lossy());
+        assert_eq!(cfg.link.loss_rate, 0.2);
+        assert_eq!(cfg.link.loss_seed, 99);
+        assert_eq!(cfg.link.max_retries, 5);
+        assert_eq!(cfg.link.backoff_base, 2);
+        // Certain loss is rejected up front.
+        let bad = parse_args(&argv("deploy --loss 100")).unwrap();
+        assert!(params_from(&bad).is_err());
     }
 }

@@ -2,8 +2,8 @@
 //! to build fields, initial deployments and algorithm instances.
 
 use decor_core::{
-    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, Placer, RandomPlacement,
-    SchemeKind, VoronoiDecor,
+    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer,
+    RandomPlacement, SchemeKind, VoronoiDecor,
 };
 use decor_geom::Aabb;
 use decor_lds::{halton_points, random_points};
@@ -26,6 +26,9 @@ pub struct ExpParams {
     pub seeds: usize,
     /// Base seed; replica `i` derives its own via splitmix.
     pub base_seed: u64,
+    /// Packet-loss rate in percent applied to every in-network exchange
+    /// (placement notices ride the reliable transport when non-zero).
+    pub loss_pct: u32,
 }
 
 impl ExpParams {
@@ -37,6 +40,7 @@ impl ExpParams {
             initial_nodes: 200,
             seeds: 5,
             base_seed: 0xDEC0_2007,
+            loss_pct: 0,
         }
     }
 
@@ -48,12 +52,23 @@ impl ExpParams {
             initial_nodes: 60,
             seeds: 2,
             base_seed: 0xDEC0,
+            loss_pct: 0,
         }
     }
 
     /// The monitored field.
     pub fn field(&self) -> Aabb {
         Aabb::square(self.field_side)
+    }
+
+    /// The link configuration these parameters describe: lossless by
+    /// default, seeded per replica when `loss_pct > 0`.
+    pub fn link(&self, seed: u64) -> LinkConfig {
+        if self.loss_pct > 0 {
+            LinkConfig::lossy(self.loss_pct as f64 / 100.0, seed ^ 0x11FF)
+        } else {
+            LinkConfig::default()
+        }
     }
 
     /// A fresh coverage map with the Halton approximation and `initial`
@@ -97,7 +112,8 @@ pub fn deploy(
     decor_core::PlacementOutcome,
     DeploymentConfig,
 ) {
-    let cfg = DeploymentConfig::with_k(k);
+    let mut cfg = DeploymentConfig::with_k(k);
+    cfg.link = params.link(seed);
     let mut map = params.make_map(&cfg, params.initial_nodes, seed);
     let placer = params.placer(scheme, seed ^ 0x9E37);
     let outcome = placer.place(&mut map, &cfg);

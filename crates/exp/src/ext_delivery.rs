@@ -73,7 +73,9 @@ pub fn observability_of(map: &CoverageMap, cfg: &DeploymentConfig) -> (f64, f64)
 
 /// Runs the experiment with the Voronoi (big rc) scheme.
 /// Columns: k, observability % before / after disaster / after
-/// restoration, mean report hops before.
+/// restoration, mean report hops before, and the transport retries the
+/// restoration spent (zero on a loss-free medium; set
+/// [`ExpParams::loss_pct`] to make the restoration pay for reliability).
 pub fn run(params: &ExpParams) -> Table {
     let mut t = Table::new(
         "ext_delivery",
@@ -84,6 +86,7 @@ pub fn run(params: &ExpParams) -> Table {
             "observable_after_failure_pct".into(),
             "observable_after_restore_pct".into(),
             "mean_report_hops".into(),
+            "restore_retries".into(),
         ],
     );
     let scheme = SchemeKind::VoronoiBig;
@@ -102,11 +105,17 @@ pub fn run(params: &ExpParams) -> Table {
                 map.deactivate_sensor(sensors[v].0);
             }
             let (after_failure, _) = observability_of(&map, &cfg);
-            // Restoration with the same scheme.
+            // Restoration with the same scheme, over the configured medium.
             let placer = params.placer(scheme, seed ^ 0x77);
-            placer.place(&mut map, &cfg);
+            let restore = placer.place(&mut map, &cfg);
             let (after_restore, _) = observability_of(&map, &cfg);
-            (before, after_failure, after_restore, hops)
+            (
+                before,
+                after_failure,
+                after_restore,
+                hops,
+                restore.messages.retries as f64,
+            )
         });
         t.push_row(vec![
             k as f64,
@@ -114,6 +123,7 @@ pub fn run(params: &ExpParams) -> Table {
             mean(&results.iter().map(|r| r.1 * 100.0).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.2 * 100.0).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.4).collect::<Vec<_>>()),
         ]);
     }
     t

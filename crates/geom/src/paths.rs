@@ -1,7 +1,7 @@
 //! Coverage-path analysis: maximal breach and best support paths.
 //!
 //! The paper's related work (Meguerdichian et al., INFOCOM 2001 — its
-//! ref. [13]) defines two classic worst/best-case coverage measures for a
+//! ref. \[13\]) defines two classic worst/best-case coverage measures for a
 //! sensor field, both used here to evaluate DECOR deployments from an
 //! intruder's perspective:
 //!

@@ -1,8 +1,8 @@
 //! Leader election and rotation (paper §3.1).
 //!
 //! The grid scheme needs one leader per cell. The paper delegates to known
-//! in-network algorithms (LEACH-style randomized election [6], group
-//! management [11], mobile ad-hoc election [12]) and assumes a *rotation*
+//! in-network algorithms (LEACH-style randomized election \[6\], group
+//! management \[11\], mobile ad-hoc election \[12\]) and assumes a *rotation*
 //! mechanism spreads the leader's energy burden across the cell. We model
 //! the outcome of those protocols, not their packet exchanges: a seeded
 //! random choice for the initial election, round-robin rotation thereafter.

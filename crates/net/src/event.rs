@@ -13,7 +13,7 @@ pub type Time = u64;
 
 /// A time-ordered event queue with stable FIFO tie-breaking.
 ///
-/// `BinaryHeap` needs `Ord` on the stored items; [`HeapItem`] implements it
+/// `BinaryHeap` needs `Ord` on the stored items; `HeapItem` implements it
 /// manually on `(time, seq)` only, so the event payload `E` needs no
 /// ordering traits.
 pub struct EventQueue<E> {

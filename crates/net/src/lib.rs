@@ -18,6 +18,10 @@
 //! - [`detect`] — the heartbeat failure detector of §3.2: neighbors
 //!   exchange position meta-information with period `Tc`; silence beyond a
 //!   timeout flags the neighbor as failed;
+//! - [`transport`] — a reliable-delivery layer over the lossy medium:
+//!   per-link sequence numbers, acks, bounded retransmissions with
+//!   deterministic exponential backoff, duplicate suppression, and
+//!   terminal delivery outcomes;
 //! - [`election`] — randomized leader election with round-robin rotation
 //!   (the paper's cited LEACH-style algorithms, abstracted);
 //! - [`energy`] — a tx/rx/idle energy model.
@@ -39,6 +43,7 @@ pub mod node;
 pub mod reports;
 pub mod routing;
 pub mod sleep;
+pub mod transport;
 
 pub use detect::{DetectionReport, HeartbeatConfig, HeartbeatSim};
 pub use election::{elect_random, rotation_leader};
@@ -51,3 +56,4 @@ pub use node::{Node, NodeId};
 pub use reports::{collect_reports, sink_near, DeliveryReport};
 pub use routing::{greedy_geographic, send_routed, shortest_path};
 pub use sleep::{LifetimeReport, SleepScheduler};
+pub use transport::{DeliveryOutcome, MsgId, Transport, TransportConfig, TransportStats};

@@ -43,6 +43,16 @@ pub enum Message {
         /// Number of placements carried in this report.
         placements: u32,
     },
+    /// Link-layer acknowledgement of a reliably-sent message (see
+    /// [`crate::transport`]). Carries the per-link sequence number being
+    /// acknowledged. Acks are classified on the *protocol* plane: in this
+    /// codebase the reliable transport only carries restoration-protocol
+    /// traffic (placement notices), so its repair overhead belongs to the
+    /// Fig. 10 proxy; [`crate::NetStats::acks_sent`] isolates them.
+    Ack {
+        /// Sequence number of the message being acknowledged.
+        seq: u64,
+    },
 }
 
 impl Message {
@@ -57,6 +67,7 @@ impl Message {
             }
             Message::LeaderAnnounce { .. } => 1 + 4 + 8,
             Message::Report { .. } => 1 + 4,
+            Message::Ack { .. } => 1 + 4,
         }
     }
 
@@ -85,6 +96,7 @@ mod tests {
                 round: 9,
             },
             Message::Report { placements: 5 },
+            Message::Ack { seq: 17 },
         ];
         for m in msgs {
             assert!(m.payload_bytes() > 0, "{m:?}");
@@ -103,5 +115,6 @@ mod tests {
         }
         .is_maintenance());
         assert!(!Message::Report { placements: 0 }.is_maintenance());
+        assert!(!Message::Ack { seq: 0 }.is_maintenance());
     }
 }

@@ -23,6 +23,15 @@ pub struct NetStats {
     pub maintenance_sent: u64,
     /// Messages of the restoration protocol itself.
     pub protocol_sent: u64,
+    /// Retransmissions performed by the reliable transport. Each one is
+    /// *also* counted in `total_sent` and its plane counter (a retry burns
+    /// the same air time and energy as the original), so this counter lets
+    /// analyses separate first transmissions from repair traffic.
+    pub retries_sent: u64,
+    /// Link-layer acknowledgements ([`Message::Ack`]). Acks ride the
+    /// protocol plane (they acknowledge protocol traffic) and are also in
+    /// `total_sent`/`protocol_sent`; this counter isolates them.
+    pub acks_sent: u64,
 }
 
 impl NetStats {
@@ -51,6 +60,14 @@ impl NetStats {
     pub fn total_energy(&self) -> f64 {
         self.energy.iter().sum()
     }
+}
+
+/// The splitmix64 output finalizer: a full-avalanche 64-bit mix, so inputs
+/// differing in a single bit (adjacent seeds) diverge completely.
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Error returned by [`Network::unicast`].
@@ -122,14 +139,16 @@ impl Network {
 
     /// Enables a lossy medium: every transmission is independently lost
     /// with probability `rate` (per receiver for broadcasts). The loss
-    /// stream is deterministic in `seed`. Panics unless `0 <= rate < 1`.
+    /// stream is deterministic in `seed`; the seed is passed through a full
+    /// splitmix64 finalizer so even adjacent seeds (2 vs 3) produce
+    /// unrelated streams. Panics unless `0 <= rate < 1`.
     pub fn set_loss(&mut self, rate: f64, seed: u64) {
         assert!(
             (0.0..1.0).contains(&rate),
             "loss rate must be in [0, 1), got {rate}"
         );
         self.loss_rate = rate;
-        self.loss_state = seed | 1;
+        self.loss_state = splitmix64_mix(seed);
     }
 
     /// Draws the next loss decision from the deterministic stream.
@@ -139,10 +158,7 @@ impl Network {
         }
         // splitmix64 step.
         self.loss_state = self.loss_state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.loss_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
+        let z = splitmix64_mix(self.loss_state);
         ((z >> 11) as f64 / (1u64 << 53) as f64) < self.loss_rate
     }
 
@@ -175,9 +191,17 @@ impl Network {
         self.nodes.iter().filter(|n| n.alive).count()
     }
 
-    /// The node record for `id`.
+    /// The node record for `id`. Panics on out-of-range ids; see
+    /// [`Network::try_node`] for the total variant.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id]
+    }
+
+    /// The node record for `id`, or `None` when no such node was ever
+    /// added. The non-panicking sibling of [`Network::node`], consistent
+    /// with [`Network::is_alive`] and [`Network::fail_node`] being total.
+    pub fn try_node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id)
     }
 
     /// Is node `id` alive?
@@ -185,15 +209,18 @@ impl Network {
         self.nodes.get(id).is_some_and(|n| n.alive)
     }
 
-    /// Marks node `id` failed. Idempotent. Returns whether the node was
-    /// alive before the call.
+    /// Marks node `id` failed. Idempotent, and total like [`Network::is_alive`]:
+    /// returns whether the node was alive before the call, `false` for
+    /// unknown ids.
     pub fn fail_node(&mut self, id: NodeId) -> bool {
-        if self.nodes[id].alive {
-            self.nodes[id].alive = false;
-            self.index.remove(id, self.nodes[id].pos);
-            true
-        } else {
-            false
+        match self.nodes.get_mut(id) {
+            Some(n) if n.alive => {
+                n.alive = false;
+                let pos = n.pos;
+                self.index.remove(id, pos);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -262,6 +289,9 @@ impl Network {
             self.stats.maintenance_sent += 1;
         } else {
             self.stats.protocol_sent += 1;
+        }
+        if matches!(msg, Message::Ack { .. }) {
+            self.stats.acks_sent += 1;
         }
         if self.packet_lost() {
             return Err(SendError::Lost);
@@ -475,6 +505,53 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn neighboring_seeds_diverge() {
+        // The old `seed | 1` mixing collapsed adjacent even/odd seeds
+        // (2 and 3 shared a stream); the splitmix64 finalizer must not.
+        let run = |seed| {
+            let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+            net.set_loss(0.5, seed);
+            (0..64)
+                .map(|_| {
+                    net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN })
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        for seed in [0u64, 2, 4, 100, 0xDEC0] {
+            assert_ne!(run(seed), run(seed + 1), "seeds {seed} and {}", seed + 1);
+        }
+        assert_eq!(run(2), run(2), "same seed still reproduces");
+    }
+
+    #[test]
+    fn fail_node_is_total() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        assert!(!net.fail_node(999), "unknown id is not an error");
+        assert!(net.fail_node(0));
+        assert!(!net.fail_node(0), "second failure is a no-op");
+        assert_eq!(net.alive_count(), 0);
+    }
+
+    #[test]
+    fn try_node_is_total() {
+        let net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        assert_eq!(net.try_node(0).unwrap().pos, Point::new(10.0, 10.0));
+        assert!(net.try_node(1).is_none());
+    }
+
+    #[test]
+    fn acks_are_counted_separately() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.unicast(0, 1, Message::PlacementNotice { pos: Point::ORIGIN })
+            .unwrap();
+        net.unicast(1, 0, Message::Ack { seq: 0 }).unwrap();
+        assert_eq!(net.stats.acks_sent, 1);
+        assert_eq!(net.stats.protocol_sent, 2, "acks ride the protocol plane");
+        assert_eq!(net.stats.total_sent, 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! - [`greedy_geographic`] — classic greedy geographic forwarding: each
 //!   hop goes to the neighbor closest to the destination; fails at local
 //!   minima (voids), which the caller can detect and escalate;
-//! - [`Network::route_unicast`]-style accounting via [`send_routed`],
+//! - `Network::route_unicast`-style accounting via [`send_routed`],
 //!   charging one message per hop.
 
 use crate::messages::Message;

@@ -1,0 +1,511 @@
+//! Reliable message delivery over the lossy [`Network`] medium.
+//!
+//! The paper's border-correctness argument (§3.2–3.3) assumes placement
+//! notices between neighboring cells actually arrive; on a lossy medium a
+//! fire-and-forget unicast silently desynchronizes the cells' coverage
+//! views. This module adds the missing link layer:
+//!
+//! - **sequence numbers** per directed link `(from, to)`;
+//! - **acknowledgements** ([`Message::Ack`]) from the receiver;
+//! - **bounded retransmissions** with deterministic exponential backoff,
+//!   scheduled on the discrete-event [`EventQueue`];
+//! - **duplicate suppression** at the receiver (a retransmission whose
+//!   original arrived — e.g. because only the ack was lost — is delivered
+//!   up at most once);
+//! - a terminal [`DeliveryOutcome`] per message: delivered, gave up after
+//!   the retry budget, or peer down/unreachable.
+//!
+//! Every physical transmission (first attempt, retry, ack) goes through
+//! [`Network::unicast`], so it is charged energy and counted in
+//! [`crate::NetStats`] — the Fig. 10 messages-per-cell proxy stays honest
+//! about what reliability costs.
+//! [`NetStats::retries_sent`](crate::NetStats::retries_sent) and
+//! [`NetStats::acks_sent`](crate::NetStats::acks_sent) separate the repair
+//! traffic from first transmissions.
+//!
+//! ```
+//! use decor_geom::{Aabb, Point};
+//! use decor_net::{DeliveryOutcome, Message, Network, Transport, TransportConfig};
+//!
+//! let mut net = Network::new(Aabb::square(100.0));
+//! let a = net.add_node(Point::new(10.0, 10.0), 4.0, 8.0);
+//! let b = net.add_node(Point::new(15.0, 10.0), 4.0, 8.0);
+//! net.set_loss(0.3, 7);
+//! let mut tr = Transport::new(TransportConfig::default());
+//! let id = tr.send(a, b, Message::PlacementNotice { pos: Point::ORIGIN });
+//! let outcomes = tr.flush(&mut net);
+//! assert_eq!(outcomes.len(), 1);
+//! assert_eq!(outcomes[0].0, id);
+//! assert!(matches!(outcomes[0].1, DeliveryOutcome::Delivered { .. }));
+//! ```
+
+use crate::event::{EventQueue, Time};
+use crate::messages::Message;
+use crate::network::{Network, SendError};
+use crate::node::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Reliability knobs of the transport layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Maximum retransmissions after the first attempt. A message makes at
+    /// most `1 + max_retries` trips onto the air before the sender gives
+    /// up. With per-trip loss `p` the residual give-up probability is
+    /// roughly `p^(1 + max_retries)` (ack losses push it slightly higher).
+    pub max_retries: u32,
+    /// Ticks before the first retransmission; doubles on every further
+    /// retry (deterministic exponential backoff: `base, 2·base, 4·base…`).
+    pub backoff_base: Time,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        // 8 retries survive 30% loss with residual failure ~2e-5 per
+        // message; base 4 keeps backoff spans short on the tick clock.
+        TransportConfig {
+            max_retries: 8,
+            backoff_base: 4,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Validates the knobs; [`Transport::new`] calls this.
+    pub fn validate(&self) {
+        assert!(self.backoff_base > 0, "backoff base must be positive");
+    }
+}
+
+/// Terminal fate of a reliably-sent message, from the sender's viewpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The receiver acknowledged the message. `attempts` counts data
+    /// transmissions including the successful one.
+    Delivered {
+        /// Data transmissions used (1 = first try).
+        attempts: u32,
+    },
+    /// The retry budget ran out without an acknowledgement. Note the data
+    /// may still have arrived (only the acks lost); the *sender* cannot
+    /// distinguish the two, and neither does this outcome.
+    GaveUp {
+        /// Data transmissions used (`1 + max_retries`).
+        attempts: u32,
+    },
+    /// The peer (or the sender itself) is down or out of range — no amount
+    /// of retrying helps, so the transport fails fast.
+    PeerDown,
+}
+
+impl DeliveryOutcome {
+    /// True only for [`DeliveryOutcome::Delivered`].
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, DeliveryOutcome::Delivered { .. })
+    }
+}
+
+/// Aggregate transport-layer statistics (complementing [`crate::NetStats`],
+/// which counts physical transmissions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages handed to [`Transport::send`].
+    pub sent: u64,
+    /// Data transmissions, including retransmissions.
+    pub data_transmissions: u64,
+    /// Retransmissions only.
+    pub retries: u64,
+    /// Acknowledgement transmissions attempted by receivers.
+    pub acks: u64,
+    /// Data frames that arrived more than once and were suppressed at the
+    /// receiver (their redundant trips still cost energy).
+    pub duplicates_suppressed: u64,
+    /// Messages concluded [`DeliveryOutcome::Delivered`].
+    pub delivered: u64,
+    /// Messages concluded [`DeliveryOutcome::GaveUp`].
+    pub gave_up: u64,
+    /// Messages concluded [`DeliveryOutcome::PeerDown`].
+    pub peer_down: u64,
+}
+
+/// Handle identifying a message passed to [`Transport::send`], echoed back
+/// with its [`DeliveryOutcome`] by [`Transport::flush`].
+pub type MsgId = usize;
+
+/// One in-flight (or finished) reliable message.
+#[derive(Clone, Debug)]
+struct Flight {
+    from: NodeId,
+    to: NodeId,
+    msg: Message,
+    seq: u64,
+    attempts: u32,
+    done: bool,
+}
+
+/// The reliable-delivery layer. One instance serves any number of links;
+/// per-link state (sequence counters, receiver dedup windows) is keyed by
+/// the directed pair `(from, to)`.
+///
+/// Deterministic: retry timing comes from the [`EventQueue`] (stable FIFO
+/// ties), loss decisions from the network's seeded stream, and all state
+/// lives in ordered maps.
+pub struct Transport {
+    cfg: TransportConfig,
+    clock: EventQueue<MsgId>,
+    flights: Vec<Flight>,
+    next_seq: BTreeMap<(NodeId, NodeId), u64>,
+    /// Receiver-side dedup: seqs already delivered up, per directed link.
+    seen: BTreeMap<(NodeId, NodeId), BTreeSet<u64>>,
+    finished: Vec<(MsgId, DeliveryOutcome)>,
+    /// Aggregate statistics, publicly readable.
+    pub stats: TransportStats,
+}
+
+impl Transport {
+    /// A transport with the given reliability knobs.
+    pub fn new(cfg: TransportConfig) -> Self {
+        cfg.validate();
+        Transport {
+            cfg,
+            clock: EventQueue::new(),
+            flights: Vec::new(),
+            next_seq: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            finished: Vec::new(),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> TransportConfig {
+        self.cfg
+    }
+
+    /// Enqueues `msg` for reliable delivery `from → to`. Nothing hits the
+    /// air until [`Transport::flush`] drives the event clock. Returns the
+    /// handle under which `flush` will report the outcome.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> MsgId {
+        let seq_slot = self.next_seq.entry((from, to)).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        let id = self.flights.len();
+        self.flights.push(Flight {
+            from,
+            to,
+            msg,
+            seq,
+            attempts: 0,
+            done: false,
+        });
+        self.stats.sent += 1;
+        self.clock.schedule_after(0, id);
+        id
+    }
+
+    /// Runs the event clock until every enqueued message reaches a terminal
+    /// state, then returns the `(handle, outcome)` pairs concluded since
+    /// the last flush, in conclusion order.
+    pub fn flush(&mut self, net: &mut Network) -> Vec<(MsgId, DeliveryOutcome)> {
+        while let Some((_, id)) = self.clock.pop() {
+            self.attempt(net, id);
+        }
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Convenience: send one message and drive it to its terminal outcome.
+    pub fn send_now(
+        &mut self,
+        net: &mut Network,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    ) -> DeliveryOutcome {
+        let id = self.send(from, to, msg);
+        let outcomes = self.flush(net);
+        outcomes
+            .into_iter()
+            .find(|&(mid, _)| mid == id)
+            .map(|(_, o)| o)
+            .expect("flush concludes every enqueued message")
+    }
+
+    /// Current transport clock (ticks); advances as flushes retry.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    fn conclude(&mut self, id: MsgId, outcome: DeliveryOutcome) {
+        self.flights[id].done = true;
+        match outcome {
+            DeliveryOutcome::Delivered { .. } => self.stats.delivered += 1,
+            DeliveryOutcome::GaveUp { .. } => self.stats.gave_up += 1,
+            DeliveryOutcome::PeerDown => self.stats.peer_down += 1,
+        }
+        self.finished.push((id, outcome));
+    }
+
+    /// Retries `id` after exponential backoff, or gives up once the budget
+    /// is spent.
+    fn retry_or_give_up(&mut self, id: MsgId) {
+        let attempts = self.flights[id].attempts;
+        // The budget is 1 first try + max_retries retransmissions.
+        if attempts > self.cfg.max_retries {
+            self.conclude(id, DeliveryOutcome::GaveUp { attempts });
+        } else {
+            // attempts = 1 → wait base; 2 → 2·base; … (shift capped well
+            // below overflow).
+            let exp = (attempts - 1).min(32);
+            self.clock.schedule_after(self.cfg.backoff_base << exp, id);
+        }
+    }
+
+    /// One data transmission plus, on success, the receiver's ack.
+    fn attempt(&mut self, net: &mut Network, id: MsgId) {
+        if self.flights[id].done {
+            return;
+        }
+        let Flight {
+            from, to, msg, seq, ..
+        } = self.flights[id];
+        self.flights[id].attempts += 1;
+        let attempts = self.flights[id].attempts;
+        self.stats.data_transmissions += 1;
+        if attempts > 1 {
+            self.stats.retries += 1;
+            net.stats.retries_sent += 1;
+        }
+        match net.unicast(from, to, msg) {
+            Ok(()) => {
+                // Data arrived: deliver up unless this seq was seen before
+                // (retransmission after a lost ack).
+                if !self.seen.entry((from, to)).or_default().insert(seq) {
+                    self.stats.duplicates_suppressed += 1;
+                }
+                // The receiver acknowledges every arrival, duplicate or
+                // not — the sender is asking because it missed the ack.
+                self.stats.acks += 1;
+                match net.unicast(to, from, Message::Ack { seq }) {
+                    Ok(()) => self.conclude(id, DeliveryOutcome::Delivered { attempts }),
+                    // Lost ack, asymmetric range, or a sender that died
+                    // mid-exchange: the sender hears nothing and behaves
+                    // exactly as if the data frame was lost.
+                    Err(_) => self.retry_or_give_up(id),
+                }
+            }
+            Err(SendError::Lost) => self.retry_or_give_up(id),
+            Err(SendError::SenderDown | SendError::ReceiverDown | SendError::OutOfRange) => {
+                self.conclude(id, DeliveryOutcome::PeerDown)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::{Aabb, Point};
+
+    fn pair_net() -> Network {
+        let mut net = Network::new(Aabb::square(100.0));
+        net.add_node(Point::new(10.0, 10.0), 4.0, 8.0);
+        net.add_node(Point::new(15.0, 10.0), 4.0, 8.0);
+        net
+    }
+
+    fn notice() -> Message {
+        Message::PlacementNotice { pos: Point::ORIGIN }
+    }
+
+    #[test]
+    fn lossless_delivery_is_one_data_frame_plus_ack() {
+        let mut net = pair_net();
+        let mut tr = Transport::new(TransportConfig::default());
+        let out = tr.send_now(&mut net, 0, 1, notice());
+        assert_eq!(out, DeliveryOutcome::Delivered { attempts: 1 });
+        assert_eq!(net.stats.sent_by(0), 1);
+        assert_eq!(net.stats.sent_by(1), 1, "the ack");
+        assert_eq!(net.stats.acks_sent, 1);
+        assert_eq!(net.stats.retries_sent, 0);
+        assert_eq!(tr.stats.duplicates_suppressed, 0);
+    }
+
+    #[test]
+    fn retries_punch_through_loss() {
+        let mut net = pair_net();
+        net.set_loss(0.3, 11);
+        let mut tr = Transport::new(TransportConfig::default());
+        let mut delivered = 0;
+        for _ in 0..50 {
+            if tr.send_now(&mut net, 0, 1, notice()).is_delivered() {
+                delivered += 1;
+            }
+        }
+        // Per attempt both the data frame and the ack must survive
+        // (p = 0.49); the give-up probability over 9 attempts is 0.51^9
+        // ≈ 0.2%, so essentially everything gets through.
+        assert!(
+            delivered >= 48,
+            "8 retries must beat 30% loss: {delivered}/50"
+        );
+        assert!(tr.stats.retries > 0, "loss must have forced retries");
+        assert_eq!(net.stats.retries_sent, tr.stats.retries);
+    }
+
+    #[test]
+    fn gives_up_after_bounded_attempts() {
+        let mut net = pair_net();
+        net.set_loss(0.999, 3);
+        let cfg = TransportConfig {
+            max_retries: 3,
+            backoff_base: 2,
+        };
+        let mut tr = Transport::new(cfg);
+        // With loss 0.999 a give-up is near-certain per message.
+        let mut gave_up = 0;
+        for _ in 0..10 {
+            match tr.send_now(&mut net, 0, 1, notice()) {
+                DeliveryOutcome::GaveUp { attempts } => {
+                    assert_eq!(attempts, 4, "1 first try + 3 retries");
+                    gave_up += 1;
+                }
+                DeliveryOutcome::Delivered { attempts } => assert!(attempts <= 4),
+                DeliveryOutcome::PeerDown => panic!("peers are up"),
+            }
+        }
+        assert!(gave_up >= 9);
+        assert!(tr.stats.gave_up >= 9);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let mut net = pair_net();
+        net.set_loss(0.999, 5);
+        let cfg = TransportConfig {
+            max_retries: 4,
+            backoff_base: 4,
+        };
+        let mut tr = Transport::new(cfg);
+        let t0 = tr.now();
+        let out = tr.send_now(&mut net, 0, 1, notice());
+        // Give-up path visits every backoff step: 4 + 8 + 16 + 32 = 60.
+        if matches!(out, DeliveryOutcome::GaveUp { .. }) {
+            assert_eq!(tr.now() - t0, 60, "sum of base·2^i for i in 0..4");
+        }
+    }
+
+    #[test]
+    fn peer_down_fails_fast() {
+        let mut net = pair_net();
+        net.fail_node(1);
+        let mut tr = Transport::new(TransportConfig::default());
+        let out = tr.send_now(&mut net, 0, 1, notice());
+        assert_eq!(out, DeliveryOutcome::PeerDown);
+        assert_eq!(net.stats.total_sent, 0, "no air time wasted on a corpse");
+        // Out-of-range is equally terminal.
+        let mut far = Network::new(Aabb::square(100.0));
+        far.add_node(Point::new(10.0, 10.0), 4.0, 8.0);
+        far.add_node(Point::new(50.0, 50.0), 4.0, 8.0);
+        assert_eq!(
+            tr.send_now(&mut far, 0, 1, notice()),
+            DeliveryOutcome::PeerDown
+        );
+    }
+
+    #[test]
+    fn duplicate_suppression_on_lost_acks() {
+        // Force many exchanges over a lossy medium: whenever only the ack
+        // is lost, the retransmitted data frame must be suppressed.
+        let mut net = pair_net();
+        net.set_loss(0.4, 21);
+        let mut tr = Transport::new(TransportConfig::default());
+        for _ in 0..200 {
+            tr.send_now(&mut net, 0, 1, notice());
+        }
+        assert!(
+            tr.stats.duplicates_suppressed > 0,
+            "40% loss over 200 messages must lose some acks: {:?}",
+            tr.stats
+        );
+        // Dedup state is per-link and per-seq: every delivery was unique.
+        assert_eq!(tr.stats.delivered + tr.stats.gave_up, 200);
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_link() {
+        let mut net = Network::new(Aabb::square(100.0));
+        for i in 0..3 {
+            net.add_node(Point::new(10.0 + i as f64 * 3.0, 10.0), 4.0, 8.0);
+        }
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.send(0, 1, notice());
+        tr.send(0, 2, notice());
+        tr.send(0, 1, notice());
+        tr.send(1, 0, notice());
+        assert_eq!(tr.flights[0].seq, 0);
+        assert_eq!(tr.flights[1].seq, 0, "distinct link starts at 0");
+        assert_eq!(tr.flights[2].seq, 1);
+        assert_eq!(tr.flights[3].seq, 0, "reverse direction is its own link");
+        let outcomes = tr.flush(&mut net);
+        assert!(outcomes.iter().all(|(_, o)| o.is_delivered()));
+    }
+
+    #[test]
+    fn batch_flush_reports_every_message_once() {
+        let mut net = pair_net();
+        net.set_loss(0.3, 9);
+        let mut tr = Transport::new(TransportConfig::default());
+        let ids: Vec<MsgId> = (0..20).map(|_| tr.send(0, 1, notice())).collect();
+        let outcomes = tr.flush(&mut net);
+        let mut reported: Vec<MsgId> = outcomes.iter().map(|&(id, _)| id).collect();
+        reported.sort_unstable();
+        assert_eq!(reported, ids);
+        assert!(
+            tr.flush(&mut net).is_empty(),
+            "second flush reports nothing"
+        );
+    }
+
+    #[test]
+    fn transport_is_deterministic() {
+        let run = || {
+            let mut net = pair_net();
+            net.set_loss(0.45, 77);
+            let mut tr = Transport::new(TransportConfig::default());
+            let outs: Vec<DeliveryOutcome> = (0..40)
+                .map(|_| tr.send_now(&mut net, 0, 1, notice()))
+                .collect();
+            (outs, tr.stats, net.stats.total_sent)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_traffic_grows_with_loss() {
+        let retries_at = |loss: f64| {
+            let mut net = pair_net();
+            if loss > 0.0 {
+                net.set_loss(loss, 13);
+            }
+            let mut tr = Transport::new(TransportConfig::default());
+            for _ in 0..100 {
+                tr.send_now(&mut net, 0, 1, notice());
+            }
+            tr.stats.retries
+        };
+        let r0 = retries_at(0.0);
+        let r1 = retries_at(0.1);
+        let r3 = retries_at(0.3);
+        assert_eq!(r0, 0);
+        assert!(r1 > 0);
+        assert!(r3 > r1, "retries at 30% ({r3}) must exceed 10% ({r1})");
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff base must be positive")]
+    fn zero_backoff_panics() {
+        let _ = Transport::new(TransportConfig {
+            max_retries: 1,
+            backoff_base: 0,
+        });
+    }
+}
