@@ -75,10 +75,9 @@ impl AsyncGridDecor {
         cfg: &DeploymentConfig,
     ) -> u64 {
         let c = map.points()[pid];
-        let rs_sq = cfg.rs * cfg.rs;
         let mut b = 0u64;
         for &qid in &cells.points[ci] {
-            if map.points()[qid].dist_sq(c) <= rs_sq && est[qid] < cfg.k {
+            if map.points()[qid].in_disk(c, cfg.rs) && est[qid] < cfg.k {
                 b += (cfg.k - est[qid]) as u64;
             }
         }
@@ -163,9 +162,8 @@ impl Placer for AsyncGridDecor {
                     // receiving leader refreshes its view of its own
                     // points inside that sensor's disk.
                     let pos = map.points()[pid];
-                    let rs_sq = cfg.rs * cfg.rs;
                     for &qid in &cells.points[cell] {
-                        if map.points()[qid].dist_sq(pos) <= rs_sq {
+                        if map.points()[qid].in_disk(pos, cfg.rs) {
                             est[qid] += 1;
                         }
                     }
@@ -205,9 +203,8 @@ impl Placer for AsyncGridDecor {
                             // The placer's own view updates instantly for
                             // the *acting* cell; everyone else overlapping
                             // the disk waits for the notice.
-                            let rs_sq = cfg.rs * cfg.rs;
                             for &qid in &cells.points[target_cell] {
-                                if map.points()[qid].dist_sq(pos) <= rs_sq {
+                                if map.points()[qid].in_disk(pos, cfg.rs) {
                                     est[qid] += 1;
                                 }
                             }
@@ -262,7 +259,7 @@ impl Placer for AsyncGridDecor {
             };
             let rescue_cfg = DeploymentConfig {
                 max_new_nodes: cfg.max_new_nodes - out.placed.len(),
-                ..*cfg
+                ..cfg.clone()
             };
             let rescue = sync.place(map, &rescue_cfg);
             out.placed.extend(rescue.placed);

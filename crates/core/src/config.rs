@@ -1,5 +1,6 @@
 //! Deployment configuration shared by all placement algorithms.
 
+use decor_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
 /// Radio-link reliability knobs: the lossy-medium model plus the reliable
@@ -81,7 +82,7 @@ impl LinkConfig {
 /// communication radius `rc = 2·rs = 8`, coverage requirement `k = 3`
 /// (the value Figs. 7 and 11 use), and a generous safety cap on the total
 /// number of sensors so a mis-configured run terminates.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentConfig {
     /// Sensing radius `rs`.
     pub rs: f64,
@@ -97,6 +98,10 @@ pub struct DeploymentConfig {
     pub max_new_nodes: usize,
     /// Radio-link reliability: lossy-medium model and transport knobs.
     pub link: LinkConfig,
+    /// Optional structured-event sink the simulator and placers emit into
+    /// (see `decor_trace`). Disabled by default — emission is then a
+    /// branch on `None` and nothing else. Never affects config equality.
+    pub trace: TraceHandle,
 }
 
 impl Default for DeploymentConfig {
@@ -107,6 +112,7 @@ impl Default for DeploymentConfig {
             k: 3,
             max_new_nodes: 100_000,
             link: LinkConfig::default(),
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -246,6 +252,18 @@ mod tests {
             ..DeploymentConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn trace_attachment_does_not_affect_equality() {
+        let plain = DeploymentConfig::default();
+        let traced = DeploymentConfig {
+            trace: TraceHandle::jsonl_writer(),
+            ..DeploymentConfig::default()
+        };
+        assert_eq!(plain, traced, "observability is not part of the config");
+        assert!(!plain.trace.is_enabled());
+        assert!(traced.trace.is_enabled());
     }
 
     #[test]

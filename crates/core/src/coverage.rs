@@ -285,7 +285,7 @@ impl CoverageMap {
             .for_each_within(q, self.max_rs, |id, pos| {
                 let s = &self.sensors[id];
                 debug_assert_eq!(pos, s.pos);
-                if q.dist_sq(s.pos) <= s.rs * s.rs {
+                if q.in_disk(s.pos, s.rs) {
                     out.push(id);
                 }
             });
@@ -358,7 +358,7 @@ impl CoverageMap {
             let truth = self
                 .sensors
                 .iter()
-                .filter(|s| s.active && p.dist_sq(s.pos) <= s.rs * s.rs)
+                .filter(|s| s.active && p.in_disk(s.pos, s.rs))
                 .count() as u32;
             assert_eq!(
                 truth, self.coverage[pid],

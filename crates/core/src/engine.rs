@@ -159,7 +159,6 @@ impl ShardedBenefitEngine {
                 dirty: true,
             });
         }
-        let rs_sq = rs * rs;
         let shards_ref = &shards;
         let shard_of_slot_ref = &shard_of_slot;
         let slot_pos_ref = &slot_pos;
@@ -169,7 +168,7 @@ impl ShardedBenefitEngine {
             let sh = &shards_ref[shard_of_slot_ref[slot] as usize];
             let mut b = 0u64;
             for &other in &sh.slots {
-                if slot_pos_ref[other].dist_sq(c) <= rs_sq {
+                if slot_pos_ref[other].in_disk(c, rs) {
                     let kp = map.coverage(slot_pid_ref[other]);
                     if kp < k {
                         b += (k - kp) as u64;
@@ -301,7 +300,7 @@ impl ShardedBenefitEngine {
                 }
             }
             Scoring::Cells { shard_of_pid } => {
-                let rs_sq = self.rs * self.rs;
+                let rs = self.rs;
                 for &(pid, ppos) in &changed {
                     let si = shard_of_pid[pid];
                     if si == u32::MAX {
@@ -310,7 +309,7 @@ impl ShardedBenefitEngine {
                     let sh = &mut self.shards[si as usize];
                     sh.dirty = true;
                     for &slot in &sh.slots {
-                        if self.slot_pos[slot].dist_sq(ppos) <= rs_sq {
+                        if self.slot_pos[slot].in_disk(ppos, rs) {
                             if added {
                                 self.benefits[slot] -= 1;
                             } else {
@@ -337,7 +336,6 @@ impl ShardedBenefitEngine {
                 })
             }
             Scoring::Cells { .. } => {
-                let rs_sq = rs * rs;
                 let shards = &self.shards;
                 let shard_of_slot = &self.shard_of_slot;
                 let slot_pos = &self.slot_pos;
@@ -347,7 +345,7 @@ impl ShardedBenefitEngine {
                     let sh = &shards[shard_of_slot[slot] as usize];
                     let mut b = 0u64;
                     for &other in &sh.slots {
-                        if slot_pos[other].dist_sq(c) <= rs_sq {
+                        if slot_pos[other].in_disk(c, rs) {
                             let kp = map.coverage(slot_pid[other]);
                             if kp < k {
                                 b += (k - kp) as u64;
@@ -436,6 +434,44 @@ mod tests {
             table.on_sensor_added(&map, pos, cfg.rs);
             engine.on_sensor_added(&map, pos, cfg.rs);
         }
+    }
+
+    #[test]
+    fn boundary_points_at_exactly_rs_count_in_every_path() {
+        // A point sitting exactly on a sensing-disk boundary (d == rs)
+        // must be covered in the naive scan, the incremental map
+        // counters, both engine scorings, and the direct benefit
+        // evaluation alike — the predicate is single-sourced in
+        // `Point::in_disk` and this pins the inclusive boundary.
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig::with_k(1); // rs = 4.0
+        let pts = vec![
+            decor_geom::Point::new(50.0, 50.0),
+            decor_geom::Point::new(54.0, 50.0), // exactly rs east
+            decor_geom::Point::new(50.0, 46.0), // exactly rs south
+            decor_geom::Point::new(46.0, 50.0), // exactly rs west
+            decor_geom::Point::new(53.0, 53.0), // sqrt(18) > rs: outside
+        ];
+        let mut map = CoverageMap::new(pts, &field, &cfg);
+        let cands: Vec<usize> = (0..map.n_points()).collect();
+
+        // The center candidate's benefit counts all three boundary
+        // points (plus itself) in every evaluator.
+        assert_eq!(benefit_at(&map, map.points()[0], cfg.rs, cfg.k), 4);
+        let global = ShardedBenefitEngine::global(&map, cands.clone(), cfg.rs, cfg.k);
+        assert_eq!(global.benefit(0), 4);
+        let partition = vec![cands.clone()];
+        let cells = ShardedBenefitEngine::cells(&map, &partition, cfg.rs, cfg.k);
+        assert_eq!(cells.benefit(0), 4);
+
+        // Placing at the center covers the boundary points inclusively.
+        map.add_sensor(map.points()[0], cfg.rs);
+        for pid in 0..4 {
+            assert_eq!(map.coverage(pid), 1, "point {pid} sits on/within rs");
+            assert_eq!(map.sensors_covering(map.points()[pid]).len(), 1);
+        }
+        assert_eq!(map.coverage(4), 0, "outside point untouched");
+        map.verify_consistency();
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
 use decor_geom::{Aabb, Point};
 use decor_net::{rotation_leader, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport};
+use decor_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Grid-based DECOR with square cells of edge `cell_size`.
@@ -164,11 +165,10 @@ impl GridDecor {
         hidden: Option<&BTreeSet<usize>>,
     ) -> u64 {
         let c = map.points()[pid];
-        let rs_sq = cfg.rs * cfg.rs;
         let mut b = 0u64;
         for &qid in &cells.points[ci] {
             let q = map.points()[qid];
-            if q.dist_sq(c) <= rs_sq {
+            if q.in_disk(c, cfg.rs) {
                 let kp = Self::estimated_coverage(map, qid, hidden);
                 if kp < cfg.k {
                     b += (cfg.k - kp) as u64;
@@ -276,6 +276,7 @@ impl GridDecor {
         let rc_grid = (2.0 * std::f64::consts::SQRT_2 * self.cell_size).max(cfg.rc);
         let mut net = Network::new(field);
         cfg.link.apply(&mut net);
+        net.set_trace(cfg.trace.clone());
         let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
         // Viewer key: cell index. Cell members share a blackboard, so a
         // missed notice blinds the whole cell across leader rotations.
@@ -303,18 +304,34 @@ impl GridDecor {
 
         let mut round: u64 = 0;
         while out.placed.len() < cfg.max_new_nodes && (round as usize) < MAX_ROUNDS {
+            if let Some(tr) = transport.as_ref() {
+                cfg.trace.set_time(tr.now());
+            }
+            cfg.trace.emit(TraceEvent::RoundBegin {
+                scheme: "grid",
+                round,
+            });
             // Decisions from the coverage snapshot at round start. Each
-            // entry: (acting cell, leader node, target point id).
-            let mut decisions: Vec<(usize, NodeId, usize)> = Vec::new();
+            // entry: (acting cell, leader node, target point id, benefit).
+            let mut decisions: Vec<(usize, NodeId, usize, u64)> = Vec::new();
             let mut claimed_empty: Vec<usize> = Vec::new();
             for ci in 0..cells.len() {
                 if cells.members[ci].is_empty() {
                     continue;
                 }
+                cfg.trace.emit(TraceEvent::ElectionStart {
+                    cell: ci as u64,
+                    round,
+                });
                 let leader = rotation_leader(&cells.members[ci], round).expect("non-empty");
+                cfg.trace.emit(TraceEvent::ElectionWon {
+                    cell: ci as u64,
+                    round,
+                    leader: leader as u64,
+                });
                 let hidden = knowledge.hidden_from(ci);
-                if let Some((pid, _)) = Self::cell_best(&mut engine, map, &cells, ci, cfg, hidden) {
-                    decisions.push((ci, leader, pid));
+                if let Some((pid, b)) = Self::cell_best(&mut engine, map, &cells, ci, cfg, hidden) {
+                    decisions.push((ci, leader, pid, b));
                     continue;
                 }
                 // Own cell covered: adopt one neighboring empty cell with
@@ -325,11 +342,11 @@ impl GridDecor {
                     if !cells.members[nc].is_empty() || claimed_empty.contains(&nc) {
                         continue;
                     }
-                    if let Some((pid, _)) =
+                    if let Some((pid, b)) =
                         Self::cell_best(&mut engine, map, &cells, nc, cfg, hidden)
                     {
                         claimed_empty.push(nc);
-                        decisions.push((nc, leader, pid));
+                        decisions.push((nc, leader, pid, b));
                         break;
                     }
                 }
@@ -349,7 +366,7 @@ impl GridDecor {
                 let deficient_cell = (0..cells.len())
                     .find(|&ci| Self::cell_best(&mut engine, map, &cells, ci, cfg, None).is_some());
                 let Some(target) = deficient_cell else { break };
-                let (pid, _) =
+                let (pid, b) =
                     Self::cell_best(&mut engine, map, &cells, target, cfg, None).unwrap();
                 let seeder = (0..cells.len())
                     .filter(|&ci| !cells.members[ci].is_empty())
@@ -361,7 +378,7 @@ impl GridDecor {
                 match seeder {
                     Some(ci) => {
                         let leader = rotation_leader(&cells.members[ci], round).unwrap();
-                        decisions.push((target, leader, pid));
+                        decisions.push((target, leader, pid, b));
                     }
                     None => {
                         // No sensors anywhere: bootstrap one out-of-band.
@@ -376,6 +393,16 @@ impl GridDecor {
                             cells.members[ci_new].push(nid);
                         }
                         out.placed.push(pos);
+                        cfg.trace.emit(TraceEvent::SensorPlaced {
+                            x: pos.x,
+                            y: pos.y,
+                            benefit: b,
+                            agent: target as u64,
+                        });
+                        cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 1 });
+                        cfg.trace.emit(TraceEvent::CoverageDelta {
+                            below_target: map.count_below(cfg.k) as u64,
+                        });
                         round += 1;
                         out.trace.push(TracePoint {
                             total_sensors: initial + out.placed.len(),
@@ -390,7 +417,8 @@ impl GridDecor {
             // (msg handle, notified cell, announced sensor) per transport
             // notice of this round.
             let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
-            for &(ci, leader, pid) in &decisions {
+            let placed_before_round = out.placed.len();
+            for &(ci, leader, pid, benefit) in &decisions {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
@@ -405,6 +433,12 @@ impl GridDecor {
                     cells.members[ci_new].push(nid);
                 }
                 out.placed.push(pos);
+                cfg.trace.emit(TraceEvent::SensorPlaced {
+                    x: pos.x,
+                    y: pos.y,
+                    benefit,
+                    agent: ci as u64,
+                });
                 // Placement notice to every neighboring cell whose area the
                 // new disk overlaps and that currently has a leader.
                 let disk = decor_geom::Disk::new(pos, cfg.rs);
@@ -457,6 +491,16 @@ impl GridDecor {
                 }
             }
 
+            if let Some(tr) = transport.as_ref() {
+                cfg.trace.set_time(tr.now());
+            }
+            cfg.trace.emit(TraceEvent::RoundEnd {
+                round,
+                placed: (out.placed.len() - placed_before_round) as u64,
+            });
+            cfg.trace.emit(TraceEvent::CoverageDelta {
+                below_target: map.count_below(cfg.k) as u64,
+            });
             round += 1;
             out.trace.push(TracePoint {
                 total_sensors: initial + out.placed.len(),

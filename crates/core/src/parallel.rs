@@ -33,13 +33,24 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    run_replicas_with_threads(n, base_seed, threads, f)
+}
+
+/// [`run_replicas`] with an explicit worker count instead of the hardware
+/// parallelism. The results must be identical for every `threads >= 1` —
+/// the determinism suite pins this by comparing traces across counts.
+pub fn run_replicas_with_threads<T, F>(n: usize, base_seed: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let threads = threads.max(1).min(n);
     if threads == 1 {
         return (0..n).map(|i| f(i, replica_seed(base_seed, i))).collect();
     }
@@ -158,6 +169,15 @@ mod tests {
     fn run_replicas_zero_is_empty() {
         let v: Vec<u32> = run_replicas(0, 1, |_, _| 0);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let reference: Vec<_> = (0..12).map(|i| (i, replica_seed(11, i))).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_replicas_with_threads(12, 11, threads, |i, seed| (i, seed));
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 
     #[test]

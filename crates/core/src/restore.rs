@@ -11,7 +11,8 @@ use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
 use crate::metrics::PlacementOutcome;
 use crate::Placer;
-use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network, Time};
+use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network, NodeId, Time};
+use decor_trace::TraceEvent;
 
 /// Outcome of one failure-and-restoration episode.
 #[derive(Clone, Debug)]
@@ -58,6 +59,7 @@ pub fn fail_and_restore(
     let sensors = map.active_sensors();
     let mut net = Network::new(*map.field());
     cfg.link.apply(&mut net);
+    net.set_trace(cfg.trace.clone());
     for &(_, pos) in &sensors {
         net.add_node(pos, cfg.rs, cfg.rc);
     }
@@ -69,11 +71,31 @@ pub fn fail_and_restore(
             let fail_at = 4 * hb.period;
             let horizon = fail_at + 40 * hb.period;
             let report = sim.run(&mut net, &victims_net, fail_at, horizon);
+            cfg.trace.set_time(fail_at);
+            for &v in &victims_net {
+                cfg.trace.emit(TraceEvent::NodeFailed { node: v as u64 });
+            }
+            // Detections in (time, victim) order so the trace timeline
+            // stays monotone.
+            let mut detections: Vec<(Time, NodeId, NodeId)> = report
+                .first_detection
+                .iter()
+                .map(|(&victim, &(t, observer))| (t, victim, observer))
+                .collect();
+            detections.sort_unstable();
+            for (t, victim, observer) in detections {
+                cfg.trace.set_time(t);
+                cfg.trace.emit(TraceEvent::HeartbeatMiss {
+                    observer: observer as u64,
+                    node: victim as u64,
+                });
+            }
             (report.first_detection.len(), report.max_latency(fail_at))
         }
         None => {
             for &v in &victims_net {
                 net.fail_node(v);
+                cfg.trace.emit(TraceEvent::NodeFailed { node: v as u64 });
             }
             (victims_net.len(), None)
         }
@@ -192,6 +214,25 @@ mod tests {
         let lat = report.detection_latency.expect("something detected");
         assert!((200..=1000).contains(&lat), "latency {lat}");
         assert_eq!(report.coverage_after_restore, 1.0);
+    }
+
+    #[test]
+    fn detection_emits_failure_and_miss_events() {
+        let (mut map, mut cfg) = covered_map(1, 400);
+        cfg.trace = decor_trace::TraceHandle::counting();
+        let plan = FailurePlan::Fraction { frac: 0.1, seed: 3 };
+        let hb = HeartbeatConfig {
+            period: 100,
+            timeout_periods: 3,
+            seed: 4,
+        };
+        let placer = crate::grid_scheme::GridDecor { cell_size: 10.0 };
+        let report = fail_and_restore(&mut map, &placer, &cfg, &plan, Some(hb));
+        let counts = cfg.trace.counts().expect("counting sink attached");
+        let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        assert_eq!(get("node_failed"), report.victims as u64);
+        assert_eq!(get("heartbeat_miss"), report.detected as u64);
+        assert_eq!(get("sensor_placed"), report.extra_nodes as u64);
     }
 
     #[test]

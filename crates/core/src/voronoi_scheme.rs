@@ -38,6 +38,7 @@ use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
 use decor_net::{Message, MsgId, Network, NodeId, Transport};
+use decor_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Voronoi-based DECOR. `rc` overrides the config's communication radius
@@ -197,6 +198,7 @@ impl VoronoiDecor {
         let field = *map.field();
         let mut net = Network::new(field);
         cfg.link.apply(&mut net);
+        net.set_trace(cfg.trace.clone());
         let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
         let mut knowledge = NeighborKnowledge::new();
         let mut net_of: BTreeMap<usize, NodeId> = BTreeMap::new();
@@ -224,6 +226,14 @@ impl VoronoiDecor {
         let mut owners_dirty = vec![true; map.n_points()];
         let mut rounds = 0usize;
         while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
+            let round = rounds as u64;
+            if let Some(tr) = transport.as_ref() {
+                cfg.trace.set_time(tr.now());
+            }
+            cfg.trace.emit(TraceEvent::RoundBegin {
+                scheme: "voronoi",
+                round,
+            });
             // ---- Decision phase (coverage snapshot at round start) ----
             // For every point, find the agents that (a) believe it is
             // under-covered and (b) own it under their local view.
@@ -244,7 +254,8 @@ impl VoronoiDecor {
             }
 
             // Each acting agent picks its best owned deficient point.
-            let mut decisions: Vec<(usize, usize)> = Vec::new(); // (agent sid, point id)
+            // (agent sid, point id, locally-estimated benefit)
+            let mut decisions: Vec<(usize, usize, u64)> = Vec::new();
             for (&sid, pids) in &owned_deficient {
                 let viewer = map.sensor_pos(sid);
                 let hidden = knowledge.hidden_from(sid);
@@ -255,8 +266,8 @@ impl VoronoiDecor {
                         best = Some((pid, b));
                     }
                 }
-                if let Some((pid, _)) = best {
-                    decisions.push((sid, pid));
+                if let Some((pid, b)) = best {
+                    decisions.push((sid, pid, b));
                 }
             }
 
@@ -286,6 +297,17 @@ impl VoronoiDecor {
                 net_of.insert(sid, nid);
                 sid_of.insert(nid, sid);
                 out.placed.push(pos);
+                // Out-of-band dispatch: no placing agent, no local estimate.
+                cfg.trace.emit(TraceEvent::SensorPlaced {
+                    x: pos.x,
+                    y: pos.y,
+                    benefit: 0,
+                    agent: u64::MAX,
+                });
+                cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 1 });
+                cfg.trace.emit(TraceEvent::CoverageDelta {
+                    below_target: map.count_below(cfg.k) as u64,
+                });
                 rounds += 1;
                 out.trace.push(TracePoint {
                     total_sensors: initial + out.placed.len(),
@@ -298,7 +320,8 @@ impl VoronoiDecor {
             // (msg handle, recipient sensor, announced sensor) for every
             // notice handed to the transport this round.
             let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
-            for &(agent_sid, pid) in &decisions {
+            let placed_before_round = out.placed.len();
+            for &(agent_sid, pid, benefit) in &decisions {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
@@ -309,6 +332,12 @@ impl VoronoiDecor {
                 net_of.insert(new_sid, new_nid);
                 sid_of.insert(new_nid, new_sid);
                 out.placed.push(pos);
+                cfg.trace.emit(TraceEvent::SensorPlaced {
+                    x: pos.x,
+                    y: pos.y,
+                    benefit,
+                    agent: agent_sid as u64,
+                });
                 // Placement notice: one unicast per 1-hop neighbor of the
                 // placing agent (traffic grows with rc — Fig. 10).
                 let agent_nid = net_of[&agent_sid];
@@ -340,6 +369,16 @@ impl VoronoiDecor {
                 }
             }
 
+            if let Some(tr) = transport.as_ref() {
+                cfg.trace.set_time(tr.now());
+            }
+            cfg.trace.emit(TraceEvent::RoundEnd {
+                round,
+                placed: (out.placed.len() - placed_before_round) as u64,
+            });
+            cfg.trace.emit(TraceEvent::CoverageDelta {
+                below_target: map.count_below(cfg.k) as u64,
+            });
             rounds += 1;
             out.trace.push(TracePoint {
                 total_sensors: initial + out.placed.len(),

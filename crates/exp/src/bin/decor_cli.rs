@@ -4,6 +4,7 @@
 //! ```text
 //! decor-cli deploy   --scheme grid-small --k 3 [--points 2000] [--initial 200]
 //!                    [--seed 1] [--rs 4] [--rc 8] [--field 100] [--out sensors.csv]
+//!                    [--trace-out trace.jsonl]
 //! decor-cli restore  --scheme voronoi-big --k 2 --disaster 50,50,24 [--seed 1] ...
 //! decor-cli diagnose --in sensors.csv --k 3 [--points 2000] ...
 //! ```
@@ -12,6 +13,7 @@ use decor_core::restore::fail_and_restore;
 use decor_core::{CoverageMap, DeploymentDiagnostics, Placer};
 use decor_exp::cli::{
     params_from, parse_args, parse_disaster, parse_scheme, sensors_from_csv, sensors_to_csv,
+    write_trace_out,
 };
 use decor_lds::halton_points;
 use decor_net::FailurePlan;
@@ -46,6 +48,9 @@ fn run() -> Result<(), String> {
                 std::fs::write(path, sensors_to_csv(&map)).map_err(|e| e.to_string())?;
                 println!("wrote {path}");
             }
+            if let Some(path) = write_trace_out(&args, &cfg)? {
+                println!("wrote trace to {path}");
+            }
             Ok(())
         }
         "restore" => {
@@ -71,6 +76,9 @@ fn run() -> Result<(), String> {
             if let Some(path) = args.flags.get("out") {
                 std::fs::write(path, sensors_to_csv(&map)).map_err(|e| e.to_string())?;
                 println!("wrote {path}");
+            }
+            if let Some(path) = write_trace_out(&args, &cfg)? {
+                println!("wrote trace to {path}");
             }
             Ok(())
         }

@@ -122,7 +122,9 @@ pub fn sensors_from_csv(csv: &str) -> Result<Vec<(Point, f64)>, String> {
 /// Builds the experiment parameters a CLI invocation describes.
 /// `--loss` (percent) puts every in-network exchange on a lossy medium;
 /// placement notices then ride the reliable transport, tunable with
-/// `--max-retries` and `--backoff`.
+/// `--max-retries` and `--backoff`. `--trace-out <path>` attaches a
+/// JSONL trace sink to the run; the binary writes the collected trace
+/// to `<path>` afterwards.
 pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), String> {
     let loss_pct: u32 = args.num_or("loss", 0u32)?;
     if loss_pct >= 100 {
@@ -147,8 +149,28 @@ pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), Stri
         k: args.num_or("k", 3u32)?,
         max_new_nodes: args.num_or("max-nodes", 100_000usize)?,
         link,
+        trace: if args.flags.contains_key("trace-out") {
+            decor_trace::TraceHandle::jsonl_writer()
+        } else {
+            decor_trace::TraceHandle::disabled()
+        },
     };
     Ok((params, cfg))
+}
+
+/// Writes the trace collected in `cfg.trace` to the `--trace-out` path,
+/// if both the flag and a JSONL sink are present. Returns the path
+/// written to, for logging.
+pub fn write_trace_out(args: &CliArgs, cfg: &DeploymentConfig) -> Result<Option<String>, String> {
+    let Some(path) = args.flags.get("trace-out") else {
+        return Ok(None);
+    };
+    let text = cfg
+        .trace
+        .jsonl()
+        .ok_or("internal: --trace-out set but no JSONL sink attached")?;
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Some(path.clone()))
 }
 
 #[cfg(test)]
@@ -240,6 +262,17 @@ mod tests {
         assert_eq!(cfg.rs, 3.0);
         assert_eq!(cfg.rc, 9.0);
         assert!(!cfg.link.is_lossy(), "lossless by default");
+    }
+
+    #[test]
+    fn trace_out_attaches_a_jsonl_sink() {
+        let a = parse_args(&argv("deploy --trace-out /tmp/t.jsonl")).unwrap();
+        let (_, cfg) = params_from(&a).unwrap();
+        assert!(cfg.trace.is_enabled());
+        assert_eq!(cfg.trace.jsonl().as_deref(), Some(""), "empty before a run");
+        let plain = parse_args(&argv("deploy")).unwrap();
+        let (_, cfg) = params_from(&plain).unwrap();
+        assert!(!cfg.trace.is_enabled(), "tracing is opt-in");
     }
 
     #[test]

@@ -120,6 +120,30 @@ pub fn deploy(
     (map, outcome, cfg)
 }
 
+/// [`deploy`] with a JSONL trace sink attached: additionally returns the
+/// canonical trace text of the placement run. Each call builds its own
+/// sink, so concurrent replicas never interleave their streams.
+pub fn deploy_traced(
+    params: &ExpParams,
+    scheme: SchemeKind,
+    k: u32,
+    seed: u64,
+) -> (
+    decor_core::CoverageMap,
+    decor_core::PlacementOutcome,
+    DeploymentConfig,
+    String,
+) {
+    let mut cfg = DeploymentConfig::with_k(k);
+    cfg.link = params.link(seed);
+    cfg.trace = decor_trace::TraceHandle::jsonl_writer();
+    let mut map = params.make_map(&cfg, params.initial_nodes, seed);
+    let placer = params.placer(scheme, seed ^ 0x9E37);
+    let outcome = placer.place(&mut map, &cfg);
+    let text = cfg.trace.jsonl().expect("JSONL sink attached above");
+    (map, outcome, cfg, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,29 +71,45 @@ pub fn observability_of(map: &CoverageMap, cfg: &DeploymentConfig) -> (f64, f64)
     (observable as f64 / map.n_points() as f64, report.mean_hops)
 }
 
+/// The trace-event kinds reported as columns, in column order. The
+/// restoration run carries a [`decor_trace::CountingSink`], so each
+/// column is the mean number of events of that kind per replica.
+pub const TRACE_KINDS: [&str; 6] = [
+    "msg_send",
+    "msg_deliver",
+    "msg_drop",
+    "msg_retry",
+    "msg_ack",
+    "sensor_placed",
+];
+
 /// Runs the experiment with the Voronoi (big rc) scheme.
 /// Columns: k, observability % before / after disaster / after
-/// restoration, mean report hops before, and the transport retries the
+/// restoration, mean report hops before, the transport retries the
 /// restoration spent (zero on a loss-free medium; set
-/// [`ExpParams::loss_pct`] to make the restoration pay for reliability).
+/// [`ExpParams::loss_pct`] to make the restoration pay for reliability),
+/// and per-event-kind trace counts of the restoration run
+/// ([`TRACE_KINDS`]).
 pub fn run(params: &ExpParams) -> Table {
+    let mut cols = vec![
+        "k".into(),
+        "observable_before_pct".into(),
+        "observable_after_failure_pct".into(),
+        "observable_after_restore_pct".into(),
+        "mean_report_hops".into(),
+        "restore_retries".into(),
+    ];
+    cols.extend(TRACE_KINDS.iter().map(|kind| format!("trace_{kind}")));
     let mut t = Table::new(
         "ext_delivery",
         "Field observability through disaster and restoration (Voronoi big rc)",
-        vec![
-            "k".into(),
-            "observable_before_pct".into(),
-            "observable_after_failure_pct".into(),
-            "observable_after_restore_pct".into(),
-            "mean_report_hops".into(),
-            "restore_retries".into(),
-        ],
+        cols,
     );
     let scheme = SchemeKind::VoronoiBig;
     let disk = disaster_disk(params);
     for &k in &KS {
         let results = run_replicas(params.seeds, params.base_seed ^ 0xDE11, |_, seed| {
-            let (mut map, _, cfg) = deploy(params, scheme, k, seed);
+            let (mut map, _, mut cfg) = deploy(params, scheme, k, seed);
             let (before, hops) = observability_of(&map, &cfg);
             // Disaster.
             let sensors = map.active_sensors();
@@ -105,26 +121,35 @@ pub fn run(params: &ExpParams) -> Table {
                 map.deactivate_sensor(sensors[v].0);
             }
             let (after_failure, _) = observability_of(&map, &cfg);
-            // Restoration with the same scheme, over the configured medium.
+            // Restoration with the same scheme, over the configured
+            // medium, with a counting trace sink attached.
+            cfg.trace = decor_trace::TraceHandle::counting();
             let placer = params.placer(scheme, seed ^ 0x77);
             let restore = placer.place(&mut map, &cfg);
             let (after_restore, _) = observability_of(&map, &cfg);
+            let counts = cfg.trace.counts().unwrap_or_default();
+            let kinds = TRACE_KINDS.map(|kind| counts.get(kind).copied().unwrap_or(0) as f64);
             (
                 before,
                 after_failure,
                 after_restore,
                 hops,
                 restore.messages.retries as f64,
+                kinds,
             )
         });
-        t.push_row(vec![
+        let mut row = vec![
             k as f64,
             mean(&results.iter().map(|r| r.0 * 100.0).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.1 * 100.0).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.2 * 100.0).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.4).collect::<Vec<_>>()),
-        ]);
+        ];
+        for i in 0..TRACE_KINDS.len() {
+            row.push(mean(&results.iter().map(|r| r.5[i]).collect::<Vec<_>>()));
+        }
+        t.push_row(row);
     }
     t
 }
@@ -167,6 +192,37 @@ mod tests {
         assert!(
             after_restore >= before - 0.01,
             "restoration must restore observability: {after_restore} (before {before})"
+        );
+    }
+
+    #[test]
+    fn restoration_trace_counts_surface_per_kind() {
+        let params = ExpParams::quick();
+        let disk = disaster_disk(&params);
+        let (mut map, _, mut cfg) = deploy(&params, SchemeKind::VoronoiBig, 1, 5);
+        let sensors = map.active_sensors();
+        let mut net = Network::new(*map.field());
+        for &(_, pos) in &sensors {
+            net.add_node(pos, cfg.rs, cfg.rc);
+        }
+        for v in (FailurePlan::Area { disk }).victims(&net) {
+            map.deactivate_sensor(sensors[v].0);
+        }
+        cfg.trace = decor_trace::TraceHandle::counting();
+        let placer = params.placer(SchemeKind::VoronoiBig, 9);
+        let out = placer.place(&mut map, &cfg);
+        let counts = cfg.trace.counts().expect("counting sink attached");
+        let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        assert_eq!(get("sensor_placed"), out.placed.len() as u64);
+        assert!(get("msg_send") > 0, "placement notices must be traced");
+        assert!(get("round_begin") as usize >= out.rounds);
+        // Either the last productive round breaks at its bottom (equal)
+        // or a final empty round opens and breaks immediately (+1).
+        assert!(
+            get("round_begin") == get("round_end") || get("round_begin") == get("round_end") + 1,
+            "begin {} vs end {}",
+            get("round_begin"),
+            get("round_end")
         );
     }
 

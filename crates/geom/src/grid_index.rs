@@ -127,14 +127,13 @@ impl GridIndex {
     /// Calls `f(id, position)` for every entry within distance `r` of `q`
     /// (boundary inclusive).
     pub fn for_each_within<F: FnMut(usize, Point)>(&self, q: Point, r: f64, mut f: F) {
-        let r_sq = r * r;
         let (bx0, by0) = self.bucket_coords(Point::new(q.x - r, q.y - r));
         let (bx1, by1) = self.bucket_coords(Point::new(q.x + r, q.y + r));
         for by in by0..=by1 {
             let row = by * self.nx;
             for bx in bx0..=bx1 {
                 for &(id, p) in &self.buckets[row + bx] {
-                    if q.dist_sq(p) <= r_sq {
+                    if q.in_disk(p, r) {
                         f(id, p);
                     }
                 }

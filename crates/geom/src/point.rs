@@ -44,6 +44,18 @@ impl Point {
         dx * dx + dy * dy
     }
 
+    /// Inclusive disk membership: `self` lies within `radius` of `center`,
+    /// boundary included (`dist <= radius`).
+    ///
+    /// Every coverage predicate in the workspace must route through this
+    /// one definition so the sharded benefit engine, the naive coverage
+    /// scan, and the per-cell benefit paths agree bit-for-bit on points
+    /// sitting exactly on a sensing-disk boundary.
+    #[inline]
+    pub fn in_disk(self, center: Point, radius: f64) -> bool {
+        self.dist_sq(center) <= radius * radius
+    }
+
     /// Squared length of `self` viewed as a vector from the origin.
     #[inline]
     pub fn norm_sq(self) -> f64 {

@@ -56,4 +56,4 @@ pub use node::{Node, NodeId};
 pub use reports::{collect_reports, sink_near, DeliveryReport};
 pub use routing::{greedy_geographic, send_routed, shortest_path};
 pub use sleep::{LifetimeReport, SleepScheduler};
-pub use transport::{DeliveryOutcome, MsgId, Transport, TransportConfig, TransportStats};
+pub use transport::{DeliveryOutcome, Inbound, MsgId, Transport, TransportConfig, TransportStats};

@@ -71,6 +71,19 @@ impl Message {
         }
     }
 
+    /// Stable short label of the variant, used as the `msg` field of trace
+    /// events ([`decor_trace::TraceEvent`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::Hello { .. } => "hello",
+            Message::PlacementNotice { .. } => "notice",
+            Message::LeaderAnnounce { .. } => "leader",
+            Message::Report { .. } => "report",
+            Message::Ack { .. } => "ack",
+        }
+    }
+
     /// True for messages belonging to the background maintenance plane
     /// (heartbeats, hellos) as opposed to the restoration protocol itself.
     ///

@@ -5,6 +5,7 @@ use crate::energy::EnergyModel;
 use crate::messages::Message;
 use crate::node::{Node, NodeId};
 use decor_geom::{Aabb, GridIndex, Point};
+use decor_trace::{TraceEvent, TraceHandle};
 
 /// Per-node and aggregate traffic statistics.
 ///
@@ -115,6 +116,8 @@ pub struct Network {
     loss_state: u64,
     /// Traffic counters, publicly readable; mutated by `unicast`/`broadcast`.
     pub stats: NetStats,
+    /// Optional structured-event sink; disabled by default (zero cost).
+    trace: TraceHandle,
 }
 
 impl Network {
@@ -134,7 +137,20 @@ impl Network {
             loss_rate: 0.0,
             loss_state: 0,
             stats: NetStats::default(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace handle; every subsequent transmission emits
+    /// send/deliver/drop events through it. Clones of the handle share one
+    /// totally ordered stream.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The attached trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Enables a lossy medium: every transmission is independently lost
@@ -293,11 +309,26 @@ impl Network {
         if matches!(msg, Message::Ack { .. }) {
             self.stats.acks_sent += 1;
         }
+        self.trace.emit(TraceEvent::MsgSend {
+            from: from as u64,
+            to: to as u64,
+            msg: msg.kind(),
+        });
         if self.packet_lost() {
+            self.trace.emit(TraceEvent::MsgDrop {
+                from: from as u64,
+                to: to as u64,
+                msg: msg.kind(),
+            });
             return Err(SendError::Lost);
         }
         self.stats.received[to] += 1;
         self.stats.energy[to] += self.energy_model.rx_cost(bytes);
+        self.trace.emit(TraceEvent::MsgDeliver {
+            from: from as u64,
+            to: to as u64,
+            msg: msg.kind(),
+        });
         Ok(())
     }
 
@@ -323,13 +354,34 @@ impl Network {
         } else {
             self.stats.protocol_sent += 1;
         }
+        // `to: u64::MAX` marks the single broadcast transmission; each
+        // listener then delivers or drops independently.
+        self.trace.emit(TraceEvent::MsgSend {
+            from: from as u64,
+            to: u64::MAX,
+            msg: msg.kind(),
+        });
         // On a lossy medium each listener drops the frame independently.
-        receivers.retain(|_| !self.packet_lost());
-        for &r in &receivers {
+        let mut heard = Vec::with_capacity(receivers.len());
+        for r in receivers {
+            if self.packet_lost() {
+                self.trace.emit(TraceEvent::MsgDrop {
+                    from: from as u64,
+                    to: r as u64,
+                    msg: msg.kind(),
+                });
+                continue;
+            }
             self.stats.received[r] += 1;
             self.stats.energy[r] += self.energy_model.rx_cost(bytes);
+            self.trace.emit(TraceEvent::MsgDeliver {
+                from: from as u64,
+                to: r as u64,
+                msg: msg.kind(),
+            });
+            heard.push(r);
         }
-        receivers
+        heard
     }
 }
 

@@ -12,6 +12,11 @@
 //! - **duplicate suppression** at the receiver (a retransmission whose
 //!   original arrived — e.g. because only the ack was lost — is delivered
 //!   up at most once);
+//! - **per-link FIFO**: each directed link keeps at most one message in
+//!   the air; later sends on the same link wait for the earlier one to
+//!   conclude. Together with the dedup window this guarantees the
+//!   application plane sees notices in send order — a retransmission can
+//!   never leapfrog a younger message;
 //! - a terminal [`DeliveryOutcome`] per message: delivered, gave up after
 //!   the retry budget, or peer down/unreachable.
 //!
@@ -43,7 +48,8 @@ use crate::event::{EventQueue, Time};
 use crate::messages::Message;
 use crate::network::{Network, SendError};
 use crate::node::NodeId;
-use std::collections::{BTreeMap, BTreeSet};
+use decor_trace::TraceEvent;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Reliability knobs of the transport layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +137,22 @@ pub struct TransportStats {
 /// with its [`DeliveryOutcome`] by [`Transport::flush`].
 pub type MsgId = usize;
 
+/// A message delivered *up* to the application plane at the receiver: the
+/// first arrival of its `(link, seq)` — duplicates are suppressed below
+/// this surface, and the per-link FIFO guarantees `seq` arrives in send
+/// order. Collected via [`Transport::take_inbox`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Inbound {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Per-directed-link sequence number.
+    pub seq: u64,
+    /// The delivered message.
+    pub msg: Message,
+}
+
 /// One in-flight (or finished) reliable message.
 #[derive(Clone, Debug)]
 struct Flight {
@@ -156,6 +178,12 @@ pub struct Transport {
     next_seq: BTreeMap<(NodeId, NodeId), u64>,
     /// Receiver-side dedup: seqs already delivered up, per directed link.
     seen: BTreeMap<(NodeId, NodeId), BTreeSet<u64>>,
+    /// Directed links with a flight currently in the air.
+    busy: BTreeSet<(NodeId, NodeId)>,
+    /// Sends waiting for their link to free up, FIFO per directed link.
+    waiting: BTreeMap<(NodeId, NodeId), VecDeque<MsgId>>,
+    /// Application-plane deliveries at receivers, in arrival order.
+    inbox: Vec<Inbound>,
     finished: Vec<(MsgId, DeliveryOutcome)>,
     /// Aggregate statistics, publicly readable.
     pub stats: TransportStats,
@@ -171,6 +199,9 @@ impl Transport {
             flights: Vec::new(),
             next_seq: BTreeMap::new(),
             seen: BTreeMap::new(),
+            busy: BTreeSet::new(),
+            waiting: BTreeMap::new(),
+            inbox: Vec::new(),
             finished: Vec::new(),
             stats: TransportStats::default(),
         }
@@ -184,6 +215,10 @@ impl Transport {
     /// Enqueues `msg` for reliable delivery `from → to`. Nothing hits the
     /// air until [`Transport::flush`] drives the event clock. Returns the
     /// handle under which `flush` will report the outcome.
+    ///
+    /// Sends on one directed link are strictly FIFO: a message waits until
+    /// every earlier message on the same link has reached its terminal
+    /// outcome, so retransmissions never reorder the application stream.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> MsgId {
         let seq_slot = self.next_seq.entry((from, to)).or_insert(0);
         let seq = *seq_slot;
@@ -198,7 +233,11 @@ impl Transport {
             done: false,
         });
         self.stats.sent += 1;
-        self.clock.schedule_after(0, id);
+        if self.busy.insert((from, to)) {
+            self.clock.schedule_after(0, id);
+        } else {
+            self.waiting.entry((from, to)).or_default().push_back(id);
+        }
         id
     }
 
@@ -234,6 +273,15 @@ impl Transport {
         self.clock.now()
     }
 
+    /// Drains the application-plane inbox: every message delivered up at a
+    /// receiver since the last take, in arrival order. Each `(link, seq)`
+    /// appears at most once ever (duplicates are suppressed below this
+    /// surface), and per directed link the sequence numbers are strictly
+    /// increasing — the FIFO discipline forbids reordering.
+    pub fn take_inbox(&mut self) -> Vec<Inbound> {
+        std::mem::take(&mut self.inbox)
+    }
+
     fn conclude(&mut self, id: MsgId, outcome: DeliveryOutcome) {
         self.flights[id].done = true;
         match outcome {
@@ -242,6 +290,16 @@ impl Transport {
             DeliveryOutcome::PeerDown => self.stats.peer_down += 1,
         }
         self.finished.push((id, outcome));
+        // The link is free again: launch the next queued send, if any.
+        let link = (self.flights[id].from, self.flights[id].to);
+        let next = self.waiting.get_mut(&link).and_then(VecDeque::pop_front);
+        match next {
+            Some(next_id) => self.clock.schedule_after(0, next_id),
+            None => {
+                self.waiting.remove(&link);
+                self.busy.remove(&link);
+            }
+        }
     }
 
     /// Retries `id` after exponential backoff, or gives up once the budget
@@ -270,22 +328,40 @@ impl Transport {
         self.flights[id].attempts += 1;
         let attempts = self.flights[id].attempts;
         self.stats.data_transmissions += 1;
+        // Transmissions happen on the transport clock; stamp trace events
+        // (including the unicasts below) with it.
+        net.trace().set_time(self.clock.now());
         if attempts > 1 {
             self.stats.retries += 1;
             net.stats.retries_sent += 1;
+            net.trace().emit(TraceEvent::MsgRetry {
+                from: from as u64,
+                to: to as u64,
+                seq,
+                attempt: attempts as u64,
+            });
         }
         match net.unicast(from, to, msg) {
             Ok(()) => {
                 // Data arrived: deliver up unless this seq was seen before
                 // (retransmission after a lost ack).
-                if !self.seen.entry((from, to)).or_default().insert(seq) {
+                if self.seen.entry((from, to)).or_default().insert(seq) {
+                    self.inbox.push(Inbound { from, to, seq, msg });
+                } else {
                     self.stats.duplicates_suppressed += 1;
                 }
                 // The receiver acknowledges every arrival, duplicate or
                 // not — the sender is asking because it missed the ack.
                 self.stats.acks += 1;
                 match net.unicast(to, from, Message::Ack { seq }) {
-                    Ok(()) => self.conclude(id, DeliveryOutcome::Delivered { attempts }),
+                    Ok(()) => {
+                        net.trace().emit(TraceEvent::MsgAck {
+                            from: from as u64,
+                            to: to as u64,
+                            seq,
+                        });
+                        self.conclude(id, DeliveryOutcome::Delivered { attempts })
+                    }
                     // Lost ack, asymmetric range, or a sender that died
                     // mid-exchange: the sender hears nothing and behaves
                     // exactly as if the data frame was lost.
@@ -498,6 +574,67 @@ mod tests {
         assert_eq!(r0, 0);
         assert!(r1 > 0);
         assert!(r3 > r1, "retries at 30% ({r3}) must exceed 10% ({r1})");
+    }
+
+    #[test]
+    fn per_link_fifo_delivers_in_send_order_under_loss() {
+        let mut net = pair_net();
+        net.set_loss(0.4, 33);
+        let mut tr = Transport::new(TransportConfig::default());
+        for _ in 0..30 {
+            tr.send(0, 1, notice());
+        }
+        tr.flush(&mut net);
+        let inbox = tr.take_inbox();
+        assert!(!inbox.is_empty());
+        let seqs: Vec<u64> = inbox.iter().map(|m| m.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seqs, sorted, "app plane saw a dup or reorder: {seqs:?}");
+        assert!(tr.take_inbox().is_empty(), "second take drains nothing");
+    }
+
+    #[test]
+    fn only_one_flight_per_link_is_airborne() {
+        // With FIFO, a second send on a busy link must not transmit until
+        // the first concludes: sending two without flushing keeps exactly
+        // one event scheduled.
+        let mut net = pair_net();
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.send(0, 1, notice());
+        tr.send(0, 1, notice());
+        assert_eq!(tr.clock.len(), 1, "second message waits for the link");
+        tr.send(1, 0, notice());
+        assert_eq!(tr.clock.len(), 2, "the reverse link is independent");
+        let outcomes = tr.flush(&mut net);
+        assert_eq!(outcomes.len(), 3);
+    }
+
+    #[test]
+    fn trace_records_retries_and_acks() {
+        let mut net = pair_net();
+        net.set_loss(0.4, 5);
+        let trace = decor_trace::TraceHandle::counting();
+        net.set_trace(trace.clone());
+        let mut tr = Transport::new(TransportConfig::default());
+        for _ in 0..40 {
+            tr.send_now(&mut net, 0, 1, notice());
+        }
+        let counts = trace.counts().unwrap();
+        assert_eq!(
+            counts.get("msg_retry").copied().unwrap_or(0),
+            tr.stats.retries
+        );
+        assert_eq!(
+            counts.get("msg_ack").copied().unwrap_or(0),
+            tr.stats.delivered
+        );
+        assert_eq!(
+            counts["msg_send"],
+            tr.stats.data_transmissions + tr.stats.acks
+        );
+        assert!(counts["msg_drop"] > 0, "40% loss must drop frames");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Property tests for the reliable-transport invariants (tier: invariants).
+//!
+//! Over random loss rates, seeds and traffic patterns, the transport must
+//! uphold its two contracts:
+//!
+//! 1. the application plane never sees a duplicate or out-of-order notice
+//!    on any directed link ([`Transport::take_inbox`] is the app surface);
+//! 2. every message handed to [`Transport::send`] reaches a terminal
+//!    [`DeliveryOutcome`] exactly once across flushes.
+
+use decor_geom::{Aabb, Point};
+use decor_net::{DeliveryOutcome, Message, MsgId, Network, Transport, TransportConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A 2×2 square of mutually reachable nodes: 12 directed links.
+fn quad_net(loss: f64, seed: u64) -> Network {
+    let mut net = Network::new(Aabb::square(100.0));
+    for &(x, y) in &[(10.0, 10.0), (15.0, 10.0), (10.0, 15.0), (15.0, 15.0)] {
+        net.add_node(Point::new(x, y), 4.0, 8.0);
+    }
+    if loss > 0.0 {
+        net.set_loss(loss, seed);
+    }
+    net
+}
+
+fn notice() -> Message {
+    Message::PlacementNotice { pos: Point::ORIGIN }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: per directed link, the app plane receives strictly
+    /// increasing sequence numbers — no duplicates, no reordering — at any
+    /// loss rate, even one high enough to force give-ups mid-stream.
+    #[test]
+    fn app_plane_is_dup_free_and_in_order(
+        loss in 0.0..0.85f64,
+        seed in any::<u64>(),
+        // (sender, receiver) pairs drawn from the quad.
+        links in prop::collection::vec((0usize..4, 0usize..4), 1..60),
+    ) {
+        let mut net = quad_net(loss, seed);
+        let mut tr = Transport::new(TransportConfig {
+            max_retries: 4,
+            backoff_base: 2,
+        });
+        for &(a, b) in &links {
+            if a != b {
+                tr.send(a, b, notice());
+            }
+        }
+        tr.flush(&mut net);
+        let mut last_seq: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for m in tr.take_inbox() {
+            if let Some(&prev) = last_seq.get(&(m.from, m.to)) {
+                prop_assert!(
+                    m.seq > prev,
+                    "link {:?} delivered seq {} after {}",
+                    (m.from, m.to), m.seq, prev
+                );
+            }
+            last_seq.insert((m.from, m.to), m.seq);
+        }
+    }
+
+    /// Invariant 2: every send concludes exactly once, across any
+    /// interleaving of sends and flushes.
+    #[test]
+    fn every_message_concludes_exactly_once(
+        loss in 0.0..0.9f64,
+        seed in any::<u64>(),
+        // Batch sizes interleaved with flushes.
+        batches in prop::collection::vec(1usize..12, 1..8),
+    ) {
+        let mut net = quad_net(loss, seed);
+        let mut tr = Transport::new(TransportConfig {
+            max_retries: 3,
+            backoff_base: 4,
+        });
+        let mut sent: Vec<MsgId> = Vec::new();
+        let mut concluded: BTreeMap<MsgId, DeliveryOutcome> = BTreeMap::new();
+        for (bi, &n) in batches.iter().enumerate() {
+            for j in 0..n {
+                // Cycle through links deterministically.
+                let a = (bi + j) % 4;
+                let b = (a + 1 + j % 3) % 4;
+                sent.push(tr.send(a, b, notice()));
+            }
+            for (id, out) in tr.flush(&mut net) {
+                prop_assert!(
+                    concluded.insert(id, out).is_none(),
+                    "message {id} concluded twice"
+                );
+            }
+        }
+        prop_assert!(tr.flush(&mut net).is_empty(), "extra flush must be empty");
+        let mut reported: Vec<MsgId> = concluded.keys().copied().collect();
+        reported.sort_unstable();
+        let mut expected = sent.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(reported, expected);
+    }
+
+    /// Delivered messages appear in the inbox exactly once; gave-up
+    /// messages appear at most once (the data may have arrived with only
+    /// the acks lost). PeerDown never reaches the inbox.
+    #[test]
+    fn inbox_is_consistent_with_outcomes(
+        loss in 0.0..0.85f64,
+        seed in any::<u64>(),
+        n in 1usize..40,
+    ) {
+        let mut net = quad_net(loss, seed);
+        let mut tr = Transport::new(TransportConfig {
+            max_retries: 4,
+            backoff_base: 2,
+        });
+        let ids: Vec<MsgId> = (0..n).map(|_| tr.send(0, 1, notice())).collect();
+        let outcomes: BTreeMap<MsgId, DeliveryOutcome> = tr.flush(&mut net).into_iter().collect();
+        let inbox = tr.take_inbox();
+        // seq on link (0,1) equals the send index here.
+        let delivered_seqs: Vec<u64> = inbox.iter().map(|m| m.seq).collect();
+        for (i, id) in ids.iter().enumerate() {
+            match outcomes[id] {
+                DeliveryOutcome::Delivered { .. } => prop_assert!(
+                    delivered_seqs.contains(&(i as u64)),
+                    "delivered message {i} missing from inbox"
+                ),
+                DeliveryOutcome::PeerDown => prop_assert!(
+                    !delivered_seqs.contains(&(i as u64)),
+                    "peer-down message {i} cannot have been delivered"
+                ),
+                DeliveryOutcome::GaveUp { .. } => {}
+            }
+        }
+        let mut uniq = delivered_seqs.clone();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), delivered_seqs.len(), "inbox has duplicates");
+    }
+}

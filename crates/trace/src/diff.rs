@@ -1,0 +1,95 @@
+//! A first-divergence differ over canonical JSONL traces.
+
+use std::fmt;
+
+/// The first point where two traces part ways.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based index of the first differing event line.
+    pub index: usize,
+    /// The left trace's line at that index, `None` when it ended first.
+    pub left: Option<String>,
+    /// The right trace's line at that index, `None` when it ended first.
+    pub right: Option<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side(line: &Option<String>) -> &str {
+            line.as_deref().unwrap_or("<end of trace>")
+        }
+        writeln!(f, "traces diverge at event {}:", self.index)?;
+        writeln!(f, "  left:  {}", side(&self.left))?;
+        write!(f, "  right: {}", side(&self.right))
+    }
+}
+
+/// Compares two canonical JSONL traces line by line and returns the first
+/// divergence, or `None` when the traces are identical. A trace that is a
+/// strict prefix of the other diverges at the shorter one's end.
+pub fn first_divergence(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut index = 0;
+    loop {
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => index += 1,
+            (a, b) => {
+                return Some(Divergence {
+                    index,
+                    left: a.map(str::to_string),
+                    right: b.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = "{\"seq\":0}\n{\"seq\":1}\n";
+        assert_eq!(first_divergence(t, t), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn reports_first_differing_line() {
+        let a = "x\ny\nz\n";
+        let b = "x\nY\nz\n";
+        let d = first_divergence(a, b).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.as_deref(), Some("y"));
+        assert_eq!(d.right.as_deref(), Some("Y"));
+    }
+
+    #[test]
+    fn prefix_diverges_at_the_shorter_end() {
+        let a = "x\ny\n";
+        let b = "x\ny\nz\n";
+        let d = first_divergence(a, b).unwrap();
+        assert_eq!(d.index, 2);
+        assert_eq!(d.left, None);
+        assert_eq!(d.right.as_deref(), Some("z"));
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let d = first_divergence("a\n", "b\n").unwrap();
+        let msg = d.to_string();
+        assert!(msg.contains("diverge at event 0"));
+        assert!(msg.contains("left:  a"));
+        assert!(msg.contains("right: b"));
+        let d2 = first_divergence("a\n", "a\nb\n").unwrap();
+        assert!(d2.to_string().contains("<end of trace>"));
+    }
+
+    #[test]
+    fn trailing_newline_is_insignificant() {
+        assert_eq!(first_divergence("x\ny", "x\ny\n"), None);
+    }
+}

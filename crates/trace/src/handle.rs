@@ -1,0 +1,209 @@
+//! The optionally-attached, cloneable trace handle.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::{CountingSink, JsonlWriter, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+struct TraceState {
+    sink: Box<dyn TraceSink>,
+    seq: u64,
+    time: u64,
+}
+
+/// A cloneable handle through which the simulator emits trace events.
+///
+/// The default handle is *disabled*: it holds no state at all, and both
+/// [`emit`](TraceHandle::emit) and [`set_time`](TraceHandle::set_time)
+/// reduce to a branch on a niche-optimized `Option` — zero cost for every
+/// caller that never enables tracing. An enabled handle shares one
+/// `Arc<Mutex<…>>` among all its clones, so the sink sees a single totally
+/// ordered stream with a monotone sequence number no matter how many
+/// components (network, transport, placer) hold a copy.
+///
+/// The handle deliberately has no effect on configuration equality:
+/// `PartialEq` always returns `true`, because two deployments differing
+/// only in observability are the same deployment.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Arc<Mutex<TraceState>>>,
+}
+
+impl TraceHandle {
+    /// The disabled handle (same as `Default`).
+    pub fn disabled() -> Self {
+        TraceHandle { inner: None }
+    }
+
+    /// An enabled handle writing into `sink`.
+    pub fn with_sink<S: TraceSink + 'static>(sink: S) -> Self {
+        TraceHandle {
+            inner: Some(Arc::new(Mutex::new(TraceState {
+                sink: Box::new(sink),
+                seq: 0,
+                time: 0,
+            }))),
+        }
+    }
+
+    /// Convenience: an enabled handle over a fresh [`JsonlWriter`].
+    pub fn jsonl_writer() -> Self {
+        Self::with_sink(JsonlWriter::new())
+    }
+
+    /// Convenience: an enabled handle over a fresh [`CountingSink`].
+    pub fn counting() -> Self {
+        Self::with_sink(CountingSink::new())
+    }
+
+    /// True when a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Updates the simulation clock stamped onto subsequent events.
+    /// No-op when disabled.
+    pub fn set_time(&self, time: u64) {
+        if let Some(inner) = &self.inner {
+            lock(inner).time = time;
+        }
+    }
+
+    /// Stamps `event` with the current time and the next sequence number
+    /// and hands it to the sink. No-op when disabled.
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let state = &mut *lock(inner);
+            let rec = TraceRecord {
+                seq: state.seq,
+                time: state.time,
+                event,
+            };
+            state.seq += 1;
+            state.sink.record(&rec);
+        }
+    }
+
+    /// Runs `f` on the attached sink; `None` when disabled.
+    pub fn with_sink_mut<R>(&self, f: impl FnOnce(&mut dyn TraceSink) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&mut *lock(inner).sink))
+    }
+
+    /// Number of events emitted so far; `None` when disabled.
+    pub fn emitted(&self) -> Option<u64> {
+        self.inner.as_ref().map(|inner| lock(inner).seq)
+    }
+
+    /// A copy of the accumulated JSONL text, when the sink is a
+    /// [`JsonlWriter`]; `None` when disabled or a different sink.
+    pub fn jsonl(&self) -> Option<String> {
+        self.with_sink_mut(|s| {
+            s.as_any()
+                .downcast_ref::<JsonlWriter>()
+                .map(|w| w.contents().to_string())
+        })
+        .flatten()
+    }
+
+    /// A copy of the per-kind counts, when the sink is a [`CountingSink`];
+    /// `None` when disabled or a different sink.
+    pub fn counts(&self) -> Option<BTreeMap<&'static str, u64>> {
+        self.with_sink_mut(|s| {
+            s.as_any()
+                .downcast_ref::<CountingSink>()
+                .map(|c| c.counts().clone())
+        })
+        .flatten()
+    }
+}
+
+/// Lock helper: a panicking emitter cannot corrupt a sink (sinks only
+/// append), so poisoning is recovered rather than propagated.
+fn lock(m: &Arc<Mutex<TraceState>>) -> std::sync::MutexGuard<'_, TraceState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceHandle(disabled)"),
+            Some(inner) => write!(f, "TraceHandle(enabled, {} events)", lock(inner).seq),
+        }
+    }
+}
+
+/// Trace attachment never affects configuration identity — all handles
+/// compare equal so `DeploymentConfig` equality stays about the deployment.
+impl PartialEq for TraceHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingBuffer;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.set_time(5);
+        h.emit(TraceEvent::NodeFailed { node: 1 });
+        assert_eq!(h.emitted(), None);
+        assert_eq!(h.jsonl(), None);
+        assert_eq!(h.counts(), None);
+    }
+
+    #[test]
+    fn emit_stamps_monotone_seq_and_current_time() {
+        let h = TraceHandle::with_sink(RingBuffer::new(10));
+        h.emit(TraceEvent::NodeFailed { node: 0 });
+        h.set_time(42);
+        h.emit(TraceEvent::NodeFailed { node: 1 });
+        let stamped = h
+            .with_sink_mut(|s| {
+                let ring = s.as_any().downcast_ref::<RingBuffer>().unwrap();
+                ring.records().map(|r| (r.seq, r.time)).collect::<Vec<_>>()
+            })
+            .unwrap();
+        assert_eq!(stamped, vec![(0, 0), (1, 42)]);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let h = TraceHandle::counting();
+        let h2 = h.clone();
+        h.emit(TraceEvent::NodeFailed { node: 0 });
+        h2.emit(TraceEvent::NodeFailed { node: 1 });
+        assert_eq!(h.emitted(), Some(2));
+        assert_eq!(h.counts().unwrap()["node_failed"], 2);
+    }
+
+    #[test]
+    fn jsonl_accessor_matches_sink_kind() {
+        let h = TraceHandle::jsonl_writer();
+        h.emit(TraceEvent::NodeFailed { node: 3 });
+        let text = h.jsonl().unwrap();
+        assert!(text.contains("\"ev\":\"node_failed\""));
+        assert!(h.counts().is_none(), "not a counting sink");
+    }
+
+    #[test]
+    fn handles_always_compare_equal() {
+        assert_eq!(TraceHandle::disabled(), TraceHandle::jsonl_writer());
+        assert_eq!(TraceHandle::counting(), TraceHandle::counting());
+    }
+
+    #[test]
+    fn debug_shows_enabledness() {
+        assert_eq!(
+            format!("{:?}", TraceHandle::disabled()),
+            "TraceHandle(disabled)"
+        );
+        let h = TraceHandle::counting();
+        h.emit(TraceEvent::NodeFailed { node: 0 });
+        assert_eq!(format!("{h:?}"), "TraceHandle(enabled, 1 events)");
+    }
+}

@@ -17,6 +17,9 @@
 //!   the failure-restoration pipeline.
 //! - [`exp`] — the experiment harness reproducing every figure of the
 //!   paper's evaluation section.
+//! - [`trace`] — structured simulation tracing: typed events, pluggable
+//!   sinks, canonical JSONL serialization and a trace differ backing the
+//!   golden-trace regression suite.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +45,4 @@ pub use decor_exp as exp;
 pub use decor_geom as geom;
 pub use decor_lds as lds;
 pub use decor_net as net;
+pub use decor_trace as trace;

@@ -1,9 +1,10 @@
 //! Determinism guarantees: every algorithm is a pure function of its
 //! seed-derived inputs, and parallel replica execution matches sequential.
 
-use decor::core::parallel::{replica_seed, run_replicas};
+use decor::core::parallel::{replica_seed, run_replicas, run_replicas_with_threads};
 use decor::core::SchemeKind;
-use decor::exp::common::{deploy, ExpParams};
+use decor::exp::common::{deploy, deploy_traced, ExpParams};
+use decor::trace::first_divergence;
 
 #[test]
 fn every_scheme_is_deterministic_in_the_seed() {
@@ -40,6 +41,57 @@ fn parallel_replicas_equal_sequential_for_real_workload() {
     let par = run_replicas(4, 99, work);
     let seq: Vec<_> = (0..4).map(|i| work(i, replica_seed(99, i))).collect();
     assert_eq!(par, seq);
+}
+
+#[test]
+fn traces_are_identical_across_worker_counts() {
+    // The structured trace is a much finer fingerprint than placement
+    // lists: every message send/drop, election and placement must land
+    // in the same order whatever the replica worker count. Each replica
+    // builds its own sink inside the closure, so worker scheduling
+    // cannot interleave streams.
+    let params = ExpParams::quick();
+    for scheme in [SchemeKind::GridSmall, SchemeKind::VoronoiBig] {
+        let run = |threads: usize| {
+            run_replicas_with_threads(4, 42, threads, |_, seed| {
+                let (_, _, _, text) = deploy_traced(&params, scheme, 2, seed);
+                assert!(!text.is_empty(), "trace must not be empty");
+                text
+            })
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            let got = run(threads);
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                if let Some(d) = first_divergence(a, b) {
+                    panic!("{}: replica {i}, threads {threads}: {d}", scheme.label());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_traces_are_identical_across_worker_counts() {
+    // Same guarantee on a lossy medium, where the trace additionally
+    // carries drops, retries and acks from the reliable transport.
+    let mut params = ExpParams::quick();
+    params.loss_pct = 20;
+    let run = |threads: usize| {
+        run_replicas_with_threads(3, 7, threads, |_, seed| {
+            let (_, _, _, text) = deploy_traced(&params, SchemeKind::VoronoiSmall, 1, seed);
+            text
+        })
+    };
+    let reference = run(1);
+    for threads in [2usize, 8] {
+        let got = run(threads);
+        for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+            if let Some(d) = first_divergence(a, b) {
+                panic!("replica {i}, threads {threads}: {d}");
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,163 @@
+//! Golden-trace regression tests (gated behind the `trace` feature).
+//!
+//! Each scenario runs a placer with a JSONL trace sink attached and
+//! compares the canonical trace line-for-line against a fixture
+//! committed under `tests/fixtures/`. Any behavioral drift — a message
+//! sent in a different order, an election resolving differently, a
+//! placement moving by one point — fails with the differ's
+//! first-divergence report.
+//!
+//! Regenerating fixtures is legitimate ONLY when a change intentionally
+//! alters simulation behavior (see tests/README.md). To regenerate:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --features trace --test golden_trace
+//! ```
+#![cfg(feature = "trace")]
+
+use decor::core::{CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer, VoronoiDecor};
+use decor::geom::Aabb;
+use decor::lds::{halton_points, random_points};
+use decor::trace::{first_divergence, TraceHandle};
+use std::path::PathBuf;
+
+/// A 30×30 field split by the grid scheme into 3×3 cells of edge 10.
+const FIELD_SIDE: f64 = 30.0;
+const N_POINTS: usize = 150;
+const INITIAL_SENSORS: usize = 4;
+const SEED: u64 = 11;
+
+/// Runs `placer` on the canonical 3×3-cell scenario and returns the
+/// JSONL trace of the run.
+fn run_scenario(placer: &dyn Placer, loss: Option<f64>) -> String {
+    let field = Aabb::square(FIELD_SIDE);
+    let mut cfg = DeploymentConfig::with_k(1);
+    if let Some(rate) = loss {
+        cfg.link = LinkConfig::lossy(rate, 23);
+    }
+    cfg.trace = TraceHandle::jsonl_writer();
+    let mut map = CoverageMap::new(halton_points(N_POINTS, &field), &field, &cfg);
+    for p in random_points(INITIAL_SENSORS, &field, SEED) {
+        map.add_sensor(p, cfg.rs);
+    }
+    let out = placer.place(&mut map, &cfg);
+    assert!(out.fully_covered, "scenario must converge");
+    cfg.trace.jsonl().expect("JSONL sink attached")
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `got` against the committed fixture, or rewrites the fixture
+/// when `UPDATE_GOLDEN=1` is set.
+fn assert_matches_fixture(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --features trace --test golden_trace` \
+             to (re)create fixtures",
+            path.display()
+        )
+    });
+    if let Some(d) = first_divergence(&want, got) {
+        panic!(
+            "{name}: trace drifted from the committed golden fixture.\n{d}\n\
+             If this change is intentional, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --features trace --test golden_trace` \
+             and explain the behavioral change in the commit."
+        );
+    }
+}
+
+#[test]
+fn grid_3x3_zero_loss_matches_golden() {
+    let trace = run_scenario(&GridDecor { cell_size: 10.0 }, None);
+    assert_matches_fixture("grid_3x3_loss0.jsonl", &trace);
+}
+
+#[test]
+fn grid_3x3_20pct_loss_matches_golden() {
+    let trace = run_scenario(&GridDecor { cell_size: 10.0 }, Some(0.2));
+    assert_matches_fixture("grid_3x3_loss20.jsonl", &trace);
+}
+
+#[test]
+fn voronoi_3x3_zero_loss_matches_golden() {
+    let trace = run_scenario(&VoronoiDecor { rc: 8.0 }, None);
+    assert_matches_fixture("voronoi_3x3_loss0.jsonl", &trace);
+}
+
+#[test]
+fn voronoi_3x3_20pct_loss_matches_golden() {
+    let trace = run_scenario(&VoronoiDecor { rc: 8.0 }, Some(0.2));
+    assert_matches_fixture("voronoi_3x3_loss20.jsonl", &trace);
+}
+
+#[test]
+fn traced_runs_replay_with_zero_divergence() {
+    // Re-running the same scenario with the same seed must reproduce the
+    // trace bit-for-bit — the replayability guarantee golden fixtures
+    // rest on.
+    for loss in [None, Some(0.2)] {
+        let a = run_scenario(&GridDecor { cell_size: 10.0 }, loss);
+        let b = run_scenario(&GridDecor { cell_size: 10.0 }, loss);
+        assert!(
+            first_divergence(&a, &b).is_none(),
+            "grid replay diverged (loss={loss:?})"
+        );
+        let a = run_scenario(&VoronoiDecor { rc: 8.0 }, loss);
+        let b = run_scenario(&VoronoiDecor { rc: 8.0 }, loss);
+        assert!(
+            first_divergence(&a, &b).is_none(),
+            "voronoi replay diverged (loss={loss:?})"
+        );
+    }
+}
+
+#[test]
+fn every_trace_line_is_canonical() {
+    // Each fixture line must parse as one canonical record: strictly
+    // increasing `seq`, a known event kind, and no trailing whitespace.
+    let kinds = [
+        "msg_send",
+        "msg_deliver",
+        "msg_drop",
+        "msg_retry",
+        "msg_ack",
+        "election_start",
+        "election_won",
+        "heartbeat_miss",
+        "node_failed",
+        "sensor_placed",
+        "round_begin",
+        "round_end",
+        "coverage_delta",
+    ];
+    let trace = run_scenario(&GridDecor { cell_size: 10.0 }, Some(0.2));
+    let mut last_seq: Option<u64> = None;
+    for line in trace.lines() {
+        assert_eq!(line, line.trim(), "no padding: {line}");
+        let seq: u64 = line
+            .strip_prefix("{\"seq\":")
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable record: {line}"));
+        assert!(last_seq.is_none_or(|p| seq == p + 1), "seq gap at {line}");
+        last_seq = Some(seq);
+        assert!(
+            kinds
+                .iter()
+                .any(|k| line.contains(&format!("\"ev\":\"{k}\""))),
+            "unknown event kind: {line}"
+        );
+    }
+    assert!(last_seq.is_some(), "trace must not be empty");
+}
