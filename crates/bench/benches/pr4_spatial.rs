@@ -1,0 +1,158 @@
+//! PR-4 acceptance benchmark: the frozen CSR spatial index vs the mutable
+//! hash-grid, plus the end-to-end centralized greedy run the index
+//! accelerates.
+//!
+//! Microbenches sweep a fixed batch of query centers over a 2000-point
+//! Halton field (the paper's 100x100 m field, rs = 4 m) and compare:
+//!
+//! - `legacy_for_each` / `frozen_for_each` — visit every point in the disk;
+//! - `legacy_count` / `frozen_count` — count points in the disk;
+//! - `frozen_covers_at_least_k2` — the early-exit k-coverage probe, which
+//!   must beat `frozen_count` (it stops at the 2nd hit instead of
+//!   enumerating all ~10);
+//! - `frozen_for_each_wide_r12` — the wide-radius path that exercises the
+//!   per-bucket AABB prefilters and batch-accept.
+//!
+//! The end-to-end group re-measures the PR-1 scenario (centralized greedy
+//! to full 2-coverage from empty) on the frozen-index engine.
+//!
+//! Reproduce the committed summary with:
+//!
+//! ```text
+//! CRITERION_JSON=$PWD/BENCH_PR4.json \
+//!     cargo bench -p decor-bench --bench pr4_spatial
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use decor_core::{CentralizedGreedy, CoverageMap, DeploymentConfig, Placer};
+use decor_geom::{Aabb, FrozenGridIndex, GridIndex, Point};
+use decor_lds::halton_points;
+use std::hint::black_box;
+
+const N_PTS: usize = 2000;
+const RS: f64 = 4.0;
+
+fn field() -> Aabb {
+    Aabb::square(100.0)
+}
+
+/// Every 8th approximation point doubles as a query center: enough to
+/// amortize timer overhead while keeping one iteration sub-millisecond.
+fn query_batch(points: &[Point]) -> Vec<Point> {
+    points.iter().copied().step_by(8).collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let field = field();
+    let points = halton_points(N_PTS, &field);
+    let queries = query_batch(&points);
+    let cell = RS.max(field.width().min(field.height()) / 64.0);
+    let mut legacy = GridIndex::new(field.min, (field.width(), field.height()), cell);
+    for (id, &p) in points.iter().enumerate() {
+        legacy.insert(id, p);
+    }
+    let frozen = FrozenGridIndex::from_points(
+        field.min,
+        (field.width(), field.height()),
+        cell,
+        points.iter().copied().enumerate(),
+    );
+
+    // Sanity: the two indexes must agree before their numbers mean
+    // anything, and the early-exit probe must agree with the full count.
+    for &q in &queries {
+        let mut a = legacy.within(q, RS);
+        a.sort_unstable();
+        let mut b = frozen.within(q, RS);
+        b.sort_unstable();
+        assert_eq!(a, b, "index divergence at {q:?}; bench is invalid");
+        assert_eq!(
+            frozen.covers_at_least(q, RS, 2),
+            frozen.count_within(q, RS) >= 2
+        );
+    }
+
+    let mut g = c.benchmark_group("pr4/query_2000pts_rs4");
+    g.bench_function("legacy_for_each", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                legacy.for_each_within(q, RS, |id, _| acc += id);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("frozen_for_each", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                frozen.for_each_within(q, RS, |id, _| acc += id);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("legacy_count", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                legacy.for_each_within(q, RS, |_, _| acc += 1);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("frozen_count", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                acc += frozen.count_within(q, RS);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("frozen_covers_at_least_k2", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                acc += usize::from(frozen.covers_at_least(q, RS, 2));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("frozen_for_each_wide_r12", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                frozen.for_each_within(q, 12.0, |id, _| acc += id);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = DeploymentConfig::with_k(2);
+    let field = field();
+    let base = CoverageMap::new(halton_points(N_PTS, &field), &field, &cfg);
+
+    // Sanity: the run must fully restore (a silent failure would make the
+    // timing meaningless).
+    {
+        let mut m = base.clone();
+        let out = CentralizedGreedy.place(&mut m, &cfg);
+        assert!(out.fully_covered, "greedy failed to restore; bench invalid");
+    }
+
+    let mut g = c.benchmark_group("pr4/centralized_greedy_k2_2000pts");
+    g.bench_function("sharded_engine", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut map| black_box(CentralizedGreedy.place(&mut map, &cfg)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(pr4, bench_queries, bench_end_to_end);
+criterion_main!(pr4);

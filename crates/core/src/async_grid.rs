@@ -76,11 +76,13 @@ impl AsyncGridDecor {
     ) -> u64 {
         let c = map.points()[pid];
         let mut b = 0u64;
-        for &qid in &cells.points[ci] {
-            if map.points()[qid].in_disk(c, cfg.rs) && est[qid] < cfg.k {
+        // Frozen-index radius query filtered to the cell's own points;
+        // order-independent integer sum, identical to a scan of the cell.
+        map.for_each_point_within_unordered(c, cfg.rs, |qid, _| {
+            if cells.cell_of_pid[qid] == ci as u32 && est[qid] < cfg.k {
                 b += (cfg.k - est[qid]) as u64;
             }
-        }
+        });
         b
     }
 
@@ -162,11 +164,11 @@ impl Placer for AsyncGridDecor {
                     // receiving leader refreshes its view of its own
                     // points inside that sensor's disk.
                     let pos = map.points()[pid];
-                    for &qid in &cells.points[cell] {
-                        if map.points()[qid].in_disk(pos, cfg.rs) {
+                    map.for_each_point_within_unordered(pos, cfg.rs, |qid, _| {
+                        if cells.cell_of_pid[qid] == cell as u32 {
                             est[qid] += 1;
                         }
-                    }
+                    });
                 }
                 Ev::Wake(ci) => {
                     wakes += 1;
@@ -203,11 +205,11 @@ impl Placer for AsyncGridDecor {
                             // The placer's own view updates instantly for
                             // the *acting* cell; everyone else overlapping
                             // the disk waits for the notice.
-                            for &qid in &cells.points[target_cell] {
-                                if map.points()[qid].in_disk(pos, cfg.rs) {
+                            map.for_each_point_within_unordered(pos, cfg.rs, |qid, _| {
+                                if cells.cell_of_pid[qid] == target_cell as u32 {
                                     est[qid] += 1;
                                 }
-                            }
+                            });
                             let disk = Disk::new(pos, cfg.rs);
                             for nc in cells.neighbors(target_cell) {
                                 if disk.intersects_aabb(&cells.rect(nc)) {

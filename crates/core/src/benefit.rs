@@ -17,7 +17,7 @@
 //!   ablation suite).
 
 use crate::coverage::CoverageMap;
-use decor_geom::{GridIndex, Point};
+use decor_geom::{FrozenGridIndex, Point};
 
 /// Direct evaluation of Equation 1 at candidate position `c`.
 pub fn benefit_at(map: &CoverageMap, c: Point, rs: f64, k: u32) -> u64 {
@@ -45,8 +45,12 @@ pub struct BenefitTable {
     cand_pids: Vec<usize>,
     cand_pos: Vec<Point>,
     benefits: Vec<u64>,
-    /// Spatial index over candidate positions; payload is the *slot* index.
-    cand_index: GridIndex,
+    /// Spatial index over candidate positions; payload is the *slot*
+    /// index. The candidate set is fixed for the table's lifetime, so it
+    /// lives in the frozen CSR index.
+    cand_index: FrozenGridIndex,
+    /// Scratch slot buffer for `recompute_near`, reused across updates.
+    affected_scratch: Vec<usize>,
 }
 
 impl BenefitTable {
@@ -55,15 +59,19 @@ impl BenefitTable {
     pub fn new(map: &CoverageMap, cand_pids: Vec<usize>, rs: f64, k: u32) -> Self {
         let field = map.field();
         let bucket = rs.max(field.width().min(field.height()) / 64.0);
-        let mut cand_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
         let mut cand_pos = Vec::with_capacity(cand_pids.len());
         let mut benefits = Vec::with_capacity(cand_pids.len());
-        for (slot, &pid) in cand_pids.iter().enumerate() {
+        for &pid in &cand_pids {
             let pos = map.points()[pid];
-            cand_index.insert(slot, pos);
             cand_pos.push(pos);
             benefits.push(benefit_at(map, pos, rs, k));
         }
+        let cand_index = FrozenGridIndex::from_points(
+            field.min,
+            (field.width(), field.height()),
+            bucket,
+            cand_pos.iter().copied().enumerate(),
+        );
         BenefitTable {
             rs,
             k,
@@ -71,6 +79,7 @@ impl BenefitTable {
             cand_pos,
             benefits,
             cand_index,
+            affected_scratch: Vec::new(),
         }
     }
 
@@ -123,14 +132,14 @@ impl BenefitTable {
         let radius = r + self.rs;
         let rs = self.rs;
         let k = self.k;
-        // Collect affected slots first: recomputation borrows `map`.
-        let mut affected = Vec::new();
-        self.cand_index.for_each_within(q, radius, |slot, _| {
-            affected.push(slot);
-        });
-        for slot in affected {
+        // Collect affected slots first: recomputation borrows `map`. The
+        // scratch buffer is reused across updates.
+        let mut affected = std::mem::take(&mut self.affected_scratch);
+        self.cand_index.within_into(q, radius, &mut affected);
+        for &slot in &affected {
             self.benefits[slot] = benefit_at(map, self.cand_pos[slot], rs, k);
         }
+        self.affected_scratch = affected;
     }
 }
 

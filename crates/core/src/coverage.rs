@@ -9,7 +9,7 @@
 //! failure experiments without rebuilding the map.
 
 use crate::config::DeploymentConfig;
-use decor_geom::{Aabb, GridIndex, Point};
+use decor_geom::{Aabb, FrozenGridIndex, GridIndex, Point};
 use std::collections::BTreeSet;
 
 /// Index of a sensor within its [`CoverageMap`].
@@ -43,7 +43,10 @@ pub struct CoverageMap {
     field: Aabb,
     points: Vec<Point>,
     coverage: Vec<u32>,
-    pt_index: GridIndex,
+    /// The approximation points never move after construction, so they
+    /// live in the read-only CSR index (contiguous slabs, early exit);
+    /// only the sensors need the mutable bucket grid.
+    pt_index: FrozenGridIndex,
     sensors: Vec<Sensor>,
     sensor_index: GridIndex,
     max_rs: f64,
@@ -75,10 +78,12 @@ impl CoverageMap {
             );
         }
         let bucket = cfg.rs.max(field.width().min(field.height()) / 64.0);
-        let mut pt_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
-        for (i, &p) in points.iter().enumerate() {
-            pt_index.insert(i, p);
-        }
+        let pt_index = FrozenGridIndex::from_points(
+            field.min,
+            (field.width(), field.height()),
+            bucket,
+            points.iter().copied().enumerate(),
+        );
         let sensor_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
         let n = points.len();
         CoverageMap {
@@ -147,6 +152,61 @@ impl CoverageMap {
     /// (sums, counts) on hot paths.
     pub fn for_each_point_within_unordered<F: FnMut(usize, Point)>(&self, q: Point, r: f64, f: F) {
         self.pt_index.for_each_within(q, r, f)
+    }
+
+    /// Like [`CoverageMap::for_each_point_within_unordered`], but stops as
+    /// soon as `f` returns `false`. Returns `true` when the scan ran to
+    /// completion. Use for order-independent early-exit predicates
+    /// ("is any point in this disk under-covered?").
+    pub fn for_each_point_within_while<F: FnMut(usize, Point) -> bool>(
+        &self,
+        q: Point,
+        r: f64,
+        f: F,
+    ) -> bool {
+        self.pt_index.for_each_within_while(q, r, f)
+    }
+
+    /// True when at least `k` active sensors cover location `q`, honoring
+    /// each sensor's own radius. Early-exits at the `k`-th coverer instead
+    /// of enumerating the whole disk — the cheap form of the k-coverage
+    /// audit (`sensors_covering(q).len() >= k` without the allocation).
+    pub fn covered_at_least(&self, q: Point, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        if self.max_rs == 0.0 {
+            return false;
+        }
+        let mut remaining = k;
+        !self
+            .sensor_index
+            .for_each_within_while(q, self.max_rs, |id, pos| {
+                let s = &self.sensors[id];
+                debug_assert_eq!(pos, s.pos);
+                if q.in_disk(s.pos, s.rs) {
+                    remaining -= 1;
+                }
+                remaining > 0
+            })
+    }
+
+    /// Visits `(sensor_id, position)` of every active sensor covering `q`
+    /// (each sensor's own radius honored), in hash-grid bucket order,
+    /// without allocating — the streaming twin of
+    /// [`CoverageMap::sensors_covering`].
+    pub fn for_each_sensor_covering<F: FnMut(usize, Point)>(&self, q: Point, mut f: F) {
+        if self.max_rs == 0.0 {
+            return;
+        }
+        self.sensor_index
+            .for_each_within(q, self.max_rs, |id, pos| {
+                let s = &self.sensors[id];
+                debug_assert_eq!(pos, s.pos);
+                if q.in_disk(s.pos, s.rs) {
+                    f(id, pos);
+                }
+            });
     }
 
     /// Adds an active sensor; updates coverage of all points in its disk.
@@ -277,20 +337,25 @@ impl CoverageMap {
 
     /// Active sensors covering point `q` (their own `rs` honored).
     pub fn sensors_covering(&self, q: Point) -> Vec<SensorId> {
-        if self.max_rs == 0.0 {
-            return Vec::new();
-        }
         let mut out = Vec::new();
-        self.sensor_index
-            .for_each_within(q, self.max_rs, |id, pos| {
-                let s = &self.sensors[id];
-                debug_assert_eq!(pos, s.pos);
-                if q.in_disk(s.pos, s.rs) {
-                    out.push(id);
-                }
-            });
-        out.sort_unstable();
+        self.sensors_covering_into(q, &mut out);
         out
+    }
+
+    /// Buffer-reuse variant of [`CoverageMap::sensors_covering`]: fills
+    /// `out` (cleared first) with the covering sensor ids, sorted
+    /// ascending.
+    pub fn sensors_covering_into(&self, q: Point, out: &mut Vec<SensorId>) {
+        out.clear();
+        self.for_each_sensor_covering(q, |id, _| out.push(id));
+        out.sort_unstable();
+    }
+
+    /// The active sensor nearest to `q`: `(id, position, distance)`, or
+    /// `None` when no sensor is active. Ring-expanding search over the
+    /// sensor index, so it is fast when a sensor is nearby.
+    pub fn nearest_active_sensor(&self, q: Point) -> Option<(SensorId, Point, f64)> {
+        self.sensor_index.nearest(q)
     }
 
     /// Fraction of approximation points with coverage `>= k`. O(k) via the

@@ -37,7 +37,7 @@
 
 use crate::benefit::benefit_at;
 use crate::coverage::CoverageMap;
-use decor_geom::{GridIndex, Point};
+use decor_geom::{FrozenGridIndex, Point};
 
 /// Below this many candidates the initial benefit build stays sequential
 /// (same spirit as the 256-candidate floor in `par_best_candidate`).
@@ -55,8 +55,9 @@ struct Shard {
 
 enum Scoring {
     /// Equation 1 over the whole map; candidates are spatially indexed so
-    /// a changed point can find the candidates it contributes to.
-    Global { cand_index: GridIndex },
+    /// a changed point can find the candidates it contributes to. The
+    /// candidate set is fixed at build time, so the index is frozen CSR.
+    Global { cand_index: FrozenGridIndex },
     /// Benefit truncated to the shard's own points (grid DECOR's leader
     /// horizon); a candidate is eligible only while itself deficient.
     Cells {
@@ -76,6 +77,9 @@ pub struct ShardedBenefitEngine {
     shard_of_slot: Vec<u32>,
     shards: Vec<Shard>,
     scoring: Scoring,
+    /// Scratch for the changed-point set of `apply_coverage_delta`,
+    /// reused across placements so the hot path stays allocation-free.
+    changed_scratch: Vec<(usize, Point)>,
 }
 
 impl ShardedBenefitEngine {
@@ -90,7 +94,6 @@ impl ShardedBenefitEngine {
         let nx = (w / tile).ceil().max(1.0) as usize;
         let ny = (h / tile).ceil().max(1.0) as usize;
         let bucket = rs.max(w.min(h) / 64.0);
-        let mut cand_index = GridIndex::new(field.min, (w, h), bucket);
         let origin = field.min;
         let mut slot_pos = Vec::with_capacity(cand_pids.len());
         let mut shard_of_slot = Vec::with_capacity(cand_pids.len());
@@ -103,7 +106,6 @@ impl ShardedBenefitEngine {
             .collect();
         for (slot, &pid) in cand_pids.iter().enumerate() {
             let pos = map.points()[pid];
-            cand_index.insert(slot, pos);
             let tx = (((pos.x - origin.x) / tile).floor().max(0.0) as usize).min(nx - 1);
             let ty = (((pos.y - origin.y) / tile).floor().max(0.0) as usize).min(ny - 1);
             let si = ty * nx + tx;
@@ -112,6 +114,12 @@ impl ShardedBenefitEngine {
             shard_of_slot.push(si as u32);
             slot_pos.push(pos);
         }
+        let cand_index = FrozenGridIndex::from_points(
+            field.min,
+            (w, h),
+            bucket,
+            slot_pos.iter().copied().enumerate(),
+        );
         let benefits = par_compute(slot_pos.len(), &|slot: usize| {
             benefit_at(map, slot_pos[slot], rs, k)
         });
@@ -124,6 +132,7 @@ impl ShardedBenefitEngine {
             shard_of_slot,
             shards,
             scoring: Scoring::Global { cand_index },
+            changed_scratch: Vec::new(),
         }
     }
 
@@ -186,6 +195,7 @@ impl ShardedBenefitEngine {
             shard_of_slot,
             shards,
             scoring: Scoring::Cells { shard_of_pid },
+            changed_scratch: Vec::new(),
         }
     }
 
@@ -275,7 +285,8 @@ impl ShardedBenefitEngine {
         // after a removal. The same predicate captures every eligibility
         // flip in cells mode (a candidate's own crossing of `k`).
         let k = self.k;
-        let mut changed: Vec<(usize, Point)> = Vec::new();
+        let mut changed = std::mem::take(&mut self.changed_scratch);
+        changed.clear();
         map.for_each_point_within_unordered(q, r, |pid, ppos| {
             let c = map.coverage(pid);
             let crossed = if added { c <= k } else { c < k };
@@ -320,6 +331,7 @@ impl ShardedBenefitEngine {
                 }
             }
         }
+        self.changed_scratch = changed;
     }
 
     /// Recomputes every benefit from the map (parallel, chunked) and marks

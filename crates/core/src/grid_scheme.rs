@@ -61,6 +61,9 @@ pub(crate) struct Cells {
     pub(crate) origin: Point,
     /// Approximation-point ids per cell.
     pub(crate) points: Vec<Vec<usize>>,
+    /// Cell index of each approximation point (inverse of `points`), so
+    /// radius queries can filter to one cell without scanning its list.
+    pub(crate) cell_of_pid: Vec<u32>,
     /// Member sensor ids (alive network nodes) per cell.
     pub(crate) members: Vec<Vec<NodeId>>,
 }
@@ -76,8 +79,11 @@ impl Cells {
             let cy = (((p.y - origin.y) / size).floor() as usize).min(rows - 1);
             cy * cols + cx
         };
+        let mut cell_of_pid = vec![0u32; map.n_points()];
         for (pid, &p) in map.points().iter().enumerate() {
-            points[index_of(p)].push(pid);
+            let ci = index_of(p);
+            points[ci].push(pid);
+            cell_of_pid[pid] = ci as u32;
         }
         Cells {
             cols,
@@ -85,6 +91,7 @@ impl Cells {
             size,
             origin,
             points,
+            cell_of_pid,
             members: vec![Vec::new(); cols * rows],
         }
     }
@@ -145,11 +152,13 @@ impl GridDecor {
     fn estimated_coverage(map: &CoverageMap, pid: usize, hidden: Option<&BTreeSet<usize>>) -> u32 {
         match hidden {
             None => map.coverage(pid),
-            Some(h) => map
-                .sensors_covering(map.points()[pid])
-                .into_iter()
-                .filter(|sid| !h.contains(sid))
-                .count() as u32,
+            Some(h) => {
+                let mut c = 0u32;
+                map.for_each_sensor_covering(map.points()[pid], |sid, _| {
+                    c += u32::from(!h.contains(&sid));
+                });
+                c
+            }
         }
     }
 
@@ -166,15 +175,17 @@ impl GridDecor {
     ) -> u64 {
         let c = map.points()[pid];
         let mut b = 0u64;
-        for &qid in &cells.points[ci] {
-            let q = map.points()[qid];
-            if q.in_disk(c, cfg.rs) {
+        // Radius query over the frozen point index, filtered to the cell's
+        // own points; the sum is order-independent integer addition, so
+        // the result matches the old scan over `cells.points[ci]` exactly.
+        map.for_each_point_within_unordered(c, cfg.rs, |qid, _| {
+            if cells.cell_of_pid[qid] == ci as u32 {
                 let kp = Self::estimated_coverage(map, qid, hidden);
                 if kp < cfg.k {
                     b += (cfg.k - kp) as u64;
                 }
             }
-        }
+        });
         b
     }
 

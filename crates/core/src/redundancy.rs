@@ -32,13 +32,11 @@ pub fn redundant_mask(map: &mut CoverageMap, k: u32) -> Vec<bool> {
         }
         let pos = map.sensor_pos(sid);
         let rs = map.sensor_rs(sid);
-        let mut needed = false;
-        map.for_each_point_within(pos, rs, |pid, _| {
-            // Removing this sensor drops the point by one; it must stay >= k.
-            if map.coverage(pid) <= k {
-                needed = true;
-            }
-        });
+        // Removing this sensor drops every covered point by one, so the
+        // sensor is needed iff any covered point sits at exactly `k` (or
+        // below). Early-exit at the first such point; the outcome is a
+        // disjunction, so scan order is irrelevant.
+        let needed = !map.for_each_point_within_while(pos, rs, |pid, _| map.coverage(pid) > k);
         if !needed {
             map.deactivate_sensor(sid);
             removed.push(sid);

@@ -87,10 +87,12 @@ impl VoronoiDecor {
         rc_sq: f64,
         k: u32,
         knowledge: &NeighborKnowledge,
+        scratch: &mut OwnersScratch,
     ) -> Vec<usize> {
         let p = map.points()[pid];
-        // Agents that could own p.
-        let mut cands: Vec<(usize, decor_geom::Point, f64)> = Vec::new();
+        // Agents that could own p (scratch buffers reused across points).
+        let cands = &mut scratch.cands;
+        cands.clear();
         map.for_each_sensor_within(p, rc, |sid, spos| {
             cands.push((sid, spos, p.dist_sq(spos)));
         });
@@ -98,15 +100,13 @@ impl VoronoiDecor {
             return Vec::new(); // unreachable this round; fringe grows later
         }
         cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
-        let coverers: Vec<(usize, decor_geom::Point)> = map
-            .sensors_covering(p)
-            .into_iter()
-            .map(|sid| (sid, map.sensor_pos(sid)))
-            .collect();
+        let coverers = &mut scratch.coverers;
+        coverers.clear();
+        map.for_each_sensor_covering(p, |sid, spos| coverers.push((sid, spos)));
         let mut out = Vec::new();
         for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
             let hidden = knowledge.hidden_from(sid);
-            if Self::estimate(spos, &coverers, rc, hidden) >= k {
+            if Self::estimate(spos, coverers, rc, hidden) >= k {
                 continue; // this agent believes p is fine
             }
             // Local ownership: no agent closer to p is a 1-hop neighbor of
@@ -134,26 +134,33 @@ impl VoronoiDecor {
     ) -> u64 {
         let rc_sq = rc * rc;
         let mut b = 0u64;
-        let mut in_range: Vec<usize> = Vec::new();
-        map.for_each_point_within(c, cfg.rs, |pid, ppos| {
+        // Streamed, allocation-free form of the old collect-and-estimate
+        // loop: the benefit is an order-independent integer sum, and the
+        // per-point estimate counts known coverers exactly as
+        // [`Self::estimate`] does over the collected slice.
+        map.for_each_point_within_unordered(c, cfg.rs, |_, ppos| {
             if viewer.dist_sq(ppos) <= rc_sq {
-                in_range.push(pid);
+                let mut est = 0u32;
+                map.for_each_sensor_covering(ppos, |sid, spos| {
+                    if viewer.dist_sq(spos) <= rc_sq && hidden.is_none_or(|h| !h.contains(&sid)) {
+                        est += 1;
+                    }
+                });
+                if est < cfg.k {
+                    b += (cfg.k - est) as u64;
+                }
             }
         });
-        for pid in in_range {
-            let p = map.points()[pid];
-            let coverers: Vec<(usize, decor_geom::Point)> = map
-                .sensors_covering(p)
-                .into_iter()
-                .map(|sid| (sid, map.sensor_pos(sid)))
-                .collect();
-            let est = Self::estimate(viewer, &coverers, rc, hidden);
-            if est < cfg.k {
-                b += (cfg.k - est) as u64;
-            }
-        }
         b
     }
+}
+
+/// Reusable buffers for [`VoronoiDecor::point_owners`], so the per-point
+/// ownership pass does not allocate per point.
+#[derive(Default)]
+struct OwnersScratch {
+    cands: Vec<(usize, decor_geom::Point, f64)>,
+    coverers: Vec<(usize, decor_geom::Point)>,
 }
 
 impl Placer for VoronoiDecor {
@@ -224,6 +231,8 @@ impl VoronoiDecor {
         // sensor lands within `rc` of the point.
         let mut owners: Vec<Vec<usize>> = vec![Vec::new(); map.n_points()];
         let mut owners_dirty = vec![true; map.n_points()];
+        let mut scratch = OwnersScratch::default();
+        let mut nbs_buf: Vec<NodeId> = Vec::new();
         let mut rounds = 0usize;
         while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
             let round = rounds as u64;
@@ -242,7 +251,8 @@ impl VoronoiDecor {
             }
             for pid in 0..map.n_points() {
                 if owners_dirty[pid] {
-                    owners[pid] = Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge);
+                    owners[pid] =
+                        Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge, &mut scratch);
                     owners_dirty[pid] = false;
                 }
             }
@@ -341,16 +351,16 @@ impl VoronoiDecor {
                 // Placement notice: one unicast per 1-hop neighbor of the
                 // placing agent (traffic grows with rc — Fig. 10).
                 let agent_nid = net_of[&agent_sid];
-                let nbs = net.neighbors_of(agent_nid);
+                net.neighbors_into(agent_nid, &mut nbs_buf);
                 match transport.as_mut() {
                     Some(tr) => {
-                        for nb in nbs {
+                        for &nb in &nbs_buf {
                             let id = tr.send(agent_nid, nb, Message::PlacementNotice { pos });
                             pending.push((id, sid_of[&nb], new_sid));
                         }
                     }
                     None => {
-                        for nb in nbs {
+                        for &nb in &nbs_buf {
                             let _ = net.unicast(agent_nid, nb, Message::PlacementNotice { pos });
                         }
                     }
@@ -416,29 +426,12 @@ impl VoronoiDecor {
 }
 
 /// Distance from `q` to the nearest active sensor (infinity when none).
+/// Delegates to the sensor index's ring-expanding nearest query; the
+/// returned distance is `sqrt` of the minimum squared distance, identical
+/// to the minimum of the old per-sensor `q.dist(spos)` scan.
 fn nearest_agent_dist(map: &CoverageMap, q: decor_geom::Point) -> f64 {
-    let mut best = f64::INFINITY;
-    // Cheap expanding search: try a few radii before giving up to a scan.
-    for r in [8.0, 16.0, 32.0, 64.0, 128.0] {
-        let mut found = false;
-        map.for_each_sensor_within(q, r, |_, spos| {
-            let d = q.dist(spos);
-            if d < best {
-                best = d;
-            }
-            found = true;
-        });
-        if found {
-            return best;
-        }
-    }
-    for (_, spos) in map.active_sensors() {
-        let d = q.dist(spos);
-        if d < best {
-            best = d;
-        }
-    }
-    best
+    map.nearest_active_sensor(q)
+        .map_or(f64::INFINITY, |(_, _, d)| d)
 }
 
 #[cfg(test)]

@@ -50,13 +50,9 @@ pub fn audit_true_coverage(map: &CoverageMap, k: u32) -> f64 {
                 field.min.y + field.height() * (j as f64 + 0.5) / side as f64,
             );
             total += 1;
-            let mut have = 0u32;
-            map.for_each_sensor_within(p, 64.0_f64.min(field.width()), |sid, _| {
-                if have < k && map.sensor_pos(sid).dist_sq(p) <= map.sensor_rs(sid).powi(2) {
-                    have += 1;
-                }
-            });
-            if have >= k {
+            // Early-exits at the k-th coverer instead of enumerating every
+            // sensor in a 64-unit disk around the probe.
+            if map.covered_at_least(p, k as usize) {
                 covered += 1;
             }
         }

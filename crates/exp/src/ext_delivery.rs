@@ -59,9 +59,12 @@ pub fn observability_of(map: &CoverageMap, cfg: &DeploymentConfig) -> (f64, f64)
     let mut observable = 0usize;
     for pid in 0..map.n_points() {
         let p = map.points()[pid];
-        let any = map.sensors_covering(p).into_iter().any(|sid| {
-            let net_id = sids.binary_search(&sid).expect("mirrored");
-            reachable[net_id]
+        let mut any = false;
+        map.for_each_sensor_covering(p, |sid, _| {
+            if !any {
+                let net_id = sids.binary_search(&sid).expect("mirrored");
+                any = reachable[net_id];
+            }
         });
         if any {
             observable += 1;

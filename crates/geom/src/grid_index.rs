@@ -68,8 +68,36 @@ impl GridIndex {
 
     /// Convenience constructor for the DECOR field `[0, side]²` with bucket
     /// edge equal to the sensing radius.
+    ///
+    /// Panics if `query_radius` is not positive, like [`GridIndex::new`].
+    /// (It used to clamp non-positive radii to `1e-9`, silently building a
+    /// degenerate grid with millions of buckets.)
     pub fn for_square_field(side: f64, query_radius: f64) -> Self {
-        GridIndex::new(Point::ORIGIN, (side, side), query_radius.max(1e-9))
+        GridIndex::new(Point::ORIGIN, (side, side), query_radius)
+    }
+
+    /// Grid origin (lower-left corner of the expected bounding box).
+    #[inline]
+    pub(crate) fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Bucket edge length.
+    #[inline]
+    pub(crate) fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// Bucket-grid column count.
+    #[inline]
+    pub(crate) fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Bucket-grid row count.
+    #[inline]
+    pub(crate) fn ny(&self) -> usize {
+        self.ny
     }
 
     /// Number of stored entries.
@@ -141,6 +169,29 @@ impl GridIndex {
         }
     }
 
+    /// Like [`GridIndex::for_each_within`], but stops as soon as `f` returns
+    /// `false`. Returns `true` when the scan ran to completion.
+    pub fn for_each_within_while<F: FnMut(usize, Point) -> bool>(
+        &self,
+        q: Point,
+        r: f64,
+        mut f: F,
+    ) -> bool {
+        let (bx0, by0) = self.bucket_coords(Point::new(q.x - r, q.y - r));
+        let (bx1, by1) = self.bucket_coords(Point::new(q.x + r, q.y + r));
+        for by in by0..=by1 {
+            let row = by * self.nx;
+            for bx in bx0..=bx1 {
+                for &(id, p) in &self.buckets[row + bx] {
+                    if q.in_disk(p, r) && !f(id, p) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Collects the ids of all entries within distance `r` of `q`.
     pub fn within(&self, q: Point, r: f64) -> Vec<usize> {
         let mut out = Vec::new();
@@ -148,11 +199,32 @@ impl GridIndex {
         out
     }
 
+    /// Collects ids of entries within `r` of `q` into `out` (cleared
+    /// first) — the buffer-reuse variant of [`GridIndex::within`] for
+    /// round loops that query every step.
+    pub fn within_into(&self, q: Point, r: f64, out: &mut Vec<usize>) {
+        out.clear();
+        self.for_each_within(q, r, |id, _| out.push(id));
+    }
+
     /// Counts entries within distance `r` of `q`.
     pub fn count_within(&self, q: Point, r: f64) -> usize {
         let mut n = 0;
         self.for_each_within(q, r, |_, _| n += 1);
         n
+    }
+
+    /// True when at least `k` entries lie within distance `r` of `q`;
+    /// stops scanning at the `k`-th hit.
+    pub fn covers_at_least(&self, q: Point, r: f64, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        let mut remaining = k;
+        !self.for_each_within_while(q, r, |_, _| {
+            remaining -= 1;
+            remaining > 0
+        })
     }
 
     /// Nearest entry to `q`, or `None` when empty.
@@ -366,5 +438,65 @@ mod tests {
     #[should_panic(expected = "bucket edge must be positive")]
     fn zero_cell_panics() {
         let _ = GridIndex::new(Point::ORIGIN, (10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket edge must be positive")]
+    fn for_square_field_rejects_non_positive_radius() {
+        // Used to clamp to 1e-9 and silently build a million-bucket grid.
+        let _ = GridIndex::for_square_field(100.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket edge must be positive")]
+    fn for_square_field_rejects_negative_radius() {
+        let _ = GridIndex::for_square_field(100.0, -1.0);
+    }
+
+    #[test]
+    fn within_into_reuses_buffer() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        let q = Point::new(40.0, 60.0);
+        let mut buf = vec![123usize; 17];
+        idx.within_into(q, 8.0, &mut buf);
+        let mut expect = idx.within(q, 8.0);
+        buf.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn covers_at_least_agrees_with_count() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        for &(_, q) in pts.iter().step_by(43) {
+            let n = idx.count_within(q, 6.0);
+            for k in 0..=(n + 2) {
+                assert_eq!(idx.covers_at_least(q, 6.0, k), n >= k, "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_within_while_early_exit() {
+        let pts = sample_points();
+        let mut idx = GridIndex::for_square_field(100.0, 4.0);
+        for &(id, p) in &pts {
+            idx.insert(id, p);
+        }
+        let mut visited = 0usize;
+        let completed = idx.for_each_within_while(Point::new(50.0, 50.0), 60.0, |_, _| {
+            visited += 1;
+            visited < 5
+        });
+        assert!(!completed);
+        assert_eq!(visited, 5);
     }
 }

@@ -11,6 +11,11 @@
 //! - [`GridIndex`] — a uniform hash-grid spatial index answering
 //!   radius queries in O(1) expected time; the workhorse behind coverage
 //!   counting and benefit evaluation.
+//! - [`FrozenGridIndex`] — the read-only CSR twin of [`GridIndex`] for
+//!   point sets that never change (the coverage approximation points):
+//!   contiguous struct-of-arrays slabs, precomputed bucket neighborhoods,
+//!   AABB prefilters, and an early-exit `covers_at_least` k-coverage
+//!   predicate.
 //! - [`ConvexPolygon`] and half-plane clipping — exact local Voronoi cells.
 //! - [`local_voronoi_cell`] — the cell of Definition 1 in the paper: the
 //!   region of points closer to a node than to any of its 1-hop neighbors.
@@ -27,6 +32,7 @@
 pub mod aabb;
 pub mod delaunay;
 pub mod disk;
+pub mod frozen_index;
 pub mod graph;
 pub mod grid_index;
 pub mod paths;
@@ -37,6 +43,7 @@ pub mod voronoi;
 pub use aabb::Aabb;
 pub use delaunay::{cell_area_cv, Delaunay};
 pub use disk::Disk;
+pub use frozen_index::FrozenGridIndex;
 pub use graph::UnitDiskGraph;
 pub use grid_index::GridIndex;
 pub use paths::{best_support_path, maximal_breach_path, CrossingPath};

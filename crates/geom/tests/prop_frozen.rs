@@ -1,0 +1,162 @@
+//! Property tests pinning [`FrozenGridIndex`] to the naive O(n) scan.
+//!
+//! The frozen CSR index is a pure layout optimization: for any point
+//! cloud, any query center and any radius, `for_each_within`,
+//! `count_within` and `covers_at_least` must agree exactly with a brute
+//! force scan using the canonical inclusive [`Point::in_disk`] predicate
+//! — including points at distance exactly `r` (the coverage boundary is
+//! inclusive, and placement determinism depends on that bit-for-bit).
+
+use decor_geom::{FrozenGridIndex, GridIndex, Point};
+use proptest::prelude::*;
+
+fn arb_point(side: f64) -> impl Strategy<Value = Point> {
+    (0.0..side, 0.0..side).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn brute_within(pts: &[Point], q: Point, r: f64) -> Vec<usize> {
+    pts.iter()
+        .enumerate()
+        .filter(|&(_, &p)| q.in_disk(p, r))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn frozen(pts: &[Point], cell: f64) -> FrozenGridIndex {
+    FrozenGridIndex::from_points(
+        Point::ORIGIN,
+        (100.0, 100.0),
+        cell,
+        pts.iter().copied().enumerate(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `for_each_within` visits exactly the brute-force id set, for both
+    /// the fast 3×3 path (r <= cell) and the wide AABB-prefiltered path.
+    #[test]
+    fn for_each_within_matches_naive_scan(
+        pts in prop::collection::vec(arb_point(100.0), 0..120),
+        q in arb_point(100.0),
+        r in 0.1..70.0f64,
+        cell in 1.0..20.0f64,
+    ) {
+        let idx = frozen(&pts, cell);
+        let mut got = idx.within(q, r);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_within(&pts, q, r));
+    }
+
+    /// `count_within` equals the naive count.
+    #[test]
+    fn count_within_matches_naive_scan(
+        pts in prop::collection::vec(arb_point(100.0), 0..120),
+        q in arb_point(100.0),
+        r in 0.1..70.0f64,
+        cell in 1.0..20.0f64,
+    ) {
+        let idx = frozen(&pts, cell);
+        prop_assert_eq!(idx.count_within(q, r), brute_within(&pts, q, r).len());
+    }
+
+    /// `covers_at_least(q, r, k)` ⇔ naive count ≥ k, for every k up to
+    /// past the population.
+    #[test]
+    fn covers_at_least_matches_naive_scan(
+        pts in prop::collection::vec(arb_point(100.0), 0..80),
+        q in arb_point(100.0),
+        r in 0.1..50.0f64,
+        cell in 1.0..20.0f64,
+    ) {
+        let idx = frozen(&pts, cell);
+        let n = brute_within(&pts, q, r).len();
+        for k in 0..=(n + 2) {
+            prop_assert_eq!(idx.covers_at_least(q, r, k), n >= k, "k={}, n={}", k, n);
+        }
+    }
+
+    /// Points constructed at distance *exactly* `r` from the query are
+    /// included — boundary inclusivity matches `Point::in_disk` on both
+    /// query paths (reuses the inclusive-boundary regression pattern).
+    #[test]
+    fn boundary_points_at_exact_radius_are_included(
+        q in arb_point(60.0),
+        r in 0.5..30.0f64,
+        filler in prop::collection::vec(arb_point(100.0), 0..40),
+        cell in 1.0..20.0f64,
+    ) {
+        // Axis-aligned offsets keep q.x ± r exactly representable-ish;
+        // the predicate must agree with in_disk either way.
+        let mut pts = filler;
+        let boundary_start = pts.len();
+        pts.push(Point::new(q.x + r, q.y));
+        pts.push(Point::new(q.x, q.y + r));
+        let idx = frozen(&pts, cell);
+        let got = idx.within(q, r);
+        for (id, p) in [(boundary_start, pts[boundary_start]), (boundary_start + 1, pts[boundary_start + 1])] {
+            prop_assert_eq!(
+                got.contains(&id),
+                q.in_disk(p, r),
+                "boundary point {} disagreed with in_disk", p
+            );
+        }
+        // And the whole result still matches brute force exactly.
+        let mut sorted = got;
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, brute_within(&pts, q, r));
+    }
+
+    /// Freezing a populated `GridIndex` answers identically to the
+    /// mutable source for all three query kinds.
+    #[test]
+    fn freeze_preserves_query_results(
+        pts in prop::collection::vec(arb_point(100.0), 0..100),
+        q in arb_point(100.0),
+        r in 0.1..60.0f64,
+        k in 0usize..6,
+    ) {
+        let mut grid = GridIndex::for_square_field(100.0, 4.0);
+        for (id, &p) in pts.iter().enumerate() {
+            grid.insert(id, p);
+        }
+        let idx = grid.freeze();
+        prop_assert_eq!(idx.len(), grid.len());
+        let mut a = idx.within(q, r);
+        let mut b = grid.within(q, r);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(idx.count_within(q, r), grid.count_within(q, r));
+        prop_assert_eq!(idx.covers_at_least(q, r, k), grid.covers_at_least(q, r, k));
+    }
+
+    /// `within_into` clears the buffer and matches `within`; the
+    /// early-exit visitor stops exactly when asked.
+    #[test]
+    fn within_into_and_early_exit_contract(
+        pts in prop::collection::vec(arb_point(100.0), 0..100),
+        q in arb_point(100.0),
+        r in 0.1..40.0f64,
+        stop_after in 1usize..5,
+    ) {
+        let idx = frozen(&pts, 4.0);
+        let mut buf = vec![usize::MAX; 7];
+        idx.within_into(q, r, &mut buf);
+        prop_assert_eq!(&buf, &idx.within(q, r));
+        let total = buf.len();
+        let mut visited = 0usize;
+        let completed = idx.for_each_within_while(q, r, |_, _| {
+            visited += 1;
+            visited < stop_after
+        });
+        if total >= stop_after {
+            prop_assert!(!completed);
+            prop_assert_eq!(visited, stop_after);
+        } else {
+            prop_assert!(completed);
+            prop_assert_eq!(visited, total);
+        }
+    }
+}

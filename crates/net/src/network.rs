@@ -260,9 +260,16 @@ impl Network {
     /// Alive nodes within distance `r` of point `q` (any node's own radius
     /// is irrelevant here — this is a pure geometric query). Sorted by id.
     pub fn alive_within(&self, q: Point, r: f64) -> Vec<NodeId> {
-        let mut out = self.index.within(q, r);
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.alive_within_into(q, r, &mut out);
         out
+    }
+
+    /// Buffer-reuse variant of [`Network::alive_within`]: clears `out`
+    /// and fills it with the same ids in the same (ascending) order.
+    pub fn alive_within_into(&self, q: Point, r: f64, out: &mut Vec<NodeId>) {
+        self.index.within_into(q, r, out);
+        out.sort_unstable();
     }
 
     /// 1-hop neighbors of `id`: alive nodes within *`id`'s* communication
@@ -271,14 +278,27 @@ impl Network {
     /// With heterogeneous radii links can be asymmetric; DECOR only ever
     /// sends over the sender's radius, which this models.
     pub fn neighbors_of(&self, id: NodeId) -> Vec<NodeId> {
-        let n = &self.nodes[id];
+        let mut out = Vec::new();
+        self.neighbors_into(id, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`Network::neighbors_of`]: clears `out`
+    /// and fills it with the same ids in the same (ascending) order,
+    /// avoiding a fresh allocation per call. Protocol round loops call
+    /// this once per agent per round. Total: a dead or unknown `id`
+    /// yields an empty buffer.
+    pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let Some(n) = self.nodes.get(id) else {
+            return;
+        };
         if !n.alive {
-            return Vec::new();
+            return;
         }
-        let mut out = self.index.within(n.pos, n.rc);
+        self.index.within_into(n.pos, n.rc, out);
         out.retain(|&i| i != id);
         out.sort_unstable();
-        out
     }
 
     /// Sends `msg` from `from` to `to`, charging energy and counters.
@@ -412,6 +432,18 @@ mod tests {
         assert_eq!(net.neighbors_of(0), vec![1]);
         assert_eq!(net.neighbors_of(1), vec![0]);
         assert_eq!(net.neighbors_of(2), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn neighbors_into_reuses_buffer_and_matches() {
+        let net = net_with(&[(10.0, 10.0), (17.0, 10.0), (30.0, 10.0)], 4.0, 8.0);
+        let mut buf = vec![99usize; 8];
+        net.neighbors_into(0, &mut buf);
+        assert_eq!(buf, net.neighbors_of(0));
+        net.neighbors_into(2, &mut buf);
+        assert!(buf.is_empty(), "stale contents must be cleared");
+        net.neighbors_into(42, &mut buf);
+        assert!(buf.is_empty(), "unknown id yields an empty buffer");
     }
 
     #[test]

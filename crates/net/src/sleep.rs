@@ -64,16 +64,16 @@ impl SleepScheduler {
 
     /// For each point, the alive nodes covering it (sorted by id).
     fn coverers(net: &Network, points: &[Point]) -> Vec<Vec<NodeId>> {
+        let r = max_rs(net);
+        let mut buf: Vec<NodeId> = Vec::new();
         points
             .iter()
             .map(|&p| {
-                let mut v: Vec<NodeId> = net
-                    .alive_within(p, max_rs(net))
-                    .into_iter()
+                net.alive_within_into(p, r, &mut buf);
+                buf.iter()
+                    .copied()
                     .filter(|&id| net.node(id).covers(p))
-                    .collect();
-                v.sort_unstable();
-                v
+                    .collect()
             })
             .collect()
     }
