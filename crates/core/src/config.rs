@@ -1,5 +1,7 @@
 //! Deployment configuration shared by all placement algorithms.
 
+use crate::invariants::InvariantChecker;
+use decor_net::FaultPlan;
 use decor_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +104,16 @@ pub struct DeploymentConfig {
     /// (see `decor_trace`). Disabled by default — emission is then a
     /// branch on `None` and nothing else. Never affects config equality.
     pub trace: TraceHandle,
+    /// Optional scripted fault injection (see `decor_net::chaos`): the
+    /// placers run a [`decor_net::ChaosEngine`] over this plan on their
+    /// transport clock, so crashes, partitions, blackholes, latency
+    /// spikes, and drains land mid-protocol. `None` (the default) leaves
+    /// the run untouched; `(scenario, plan)` replays bit-identically.
+    pub chaos: Option<FaultPlan>,
+    /// Optional run-time invariant checking (see [`crate::invariants`]).
+    /// Disabled by default — every hook is then a branch on `None` and
+    /// nothing else. Never affects config equality.
+    pub invariants: InvariantChecker,
 }
 
 impl Default for DeploymentConfig {
@@ -113,6 +125,8 @@ impl Default for DeploymentConfig {
             max_new_nodes: 100_000,
             link: LinkConfig::default(),
             trace: TraceHandle::disabled(),
+            chaos: None,
+            invariants: InvariantChecker::disabled(),
         }
     }
 }
@@ -264,6 +278,29 @@ mod tests {
         assert_eq!(plain, traced, "observability is not part of the config");
         assert!(!plain.trace.is_enabled());
         assert!(traced.trace.is_enabled());
+    }
+
+    #[test]
+    fn checker_attachment_does_not_affect_equality() {
+        let plain = DeploymentConfig::default();
+        let checked = DeploymentConfig {
+            invariants: InvariantChecker::enabled(),
+            ..DeploymentConfig::default()
+        };
+        assert_eq!(plain, checked, "observability is not part of the config");
+        assert!(!plain.invariants.is_enabled());
+        assert!(checked.invariants.is_enabled());
+    }
+
+    #[test]
+    fn chaos_plan_is_part_of_the_config() {
+        let plain = DeploymentConfig::default();
+        let chaotic = DeploymentConfig {
+            chaos: Some(FaultPlan::generate(1, 8, 500)),
+            ..DeploymentConfig::default()
+        };
+        assert_ne!(plain, chaotic, "the fault plan changes the deployment");
+        chaotic.validate();
     }
 
     #[test]

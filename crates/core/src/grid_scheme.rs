@@ -36,11 +36,14 @@
 use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
 use crate::engine::ShardedBenefitEngine;
+use crate::invariants::InvariantChecker;
 use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
 use decor_geom::{Aabb, Point};
-use decor_net::{rotation_leader, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport};
+use decor_net::{
+    rotation_leader, ChaosEngine, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport,
+};
 use decor_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -143,6 +146,27 @@ impl Cells {
             }
         }
         out
+    }
+}
+
+/// Retires chaos-crashed nodes from the grid placer's world: the coverage
+/// map deactivates the sensor (ground truth drops), the cell drops the
+/// member (so rotations never elect the dead), and the invariant checker
+/// learns the death. The sharded engine needs no update because chaos
+/// runs disable it (see `place_impl`).
+fn retire_crashed(
+    crashed: Vec<NodeId>,
+    map: &mut CoverageMap,
+    cells: &mut Cells,
+    net: &Network,
+    sid_of: &[usize],
+    checker: &InvariantChecker,
+) {
+    for nid in crashed {
+        checker.note_crash(nid as u64);
+        map.deactivate_sensor(sid_of[nid]);
+        let ci = cells.index_of(net.node(nid).pos);
+        cells.members[ci].retain(|&m| m != nid);
     }
 }
 
@@ -278,8 +302,9 @@ impl GridDecor {
         );
         let lossy = cfg.link.is_lossy();
         // The engine caches ground-truth per-cell maxima; under loss the
-        // estimates also depend on the knowledge ledger, so scan directly.
-        let use_engine = use_engine && !lossy;
+        // estimates also depend on the knowledge ledger, and under chaos
+        // crashes retire sensors the cache cannot un-add — scan directly.
+        let use_engine = use_engine && !lossy && cfg.chaos.is_none();
         let field = *map.field();
         let mut cells = Cells::new(&field, self.cell_size, map);
         // Inter-leader range: diagonal of a 2-cell block (the paper's
@@ -289,11 +314,23 @@ impl GridDecor {
         cfg.link.apply(&mut net);
         net.set_trace(cfg.trace.clone());
         let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        // Chaos rides the transport clock, so the fire-and-forget
+        // reference path ignores any configured plan (differential tests
+        // never combine the two).
+        let mut chaos = match (&transport, &cfg.chaos) {
+            (Some(_), Some(plan)) => Some(ChaosEngine::new(plan.clone())),
+            _ => None,
+        };
         // Viewer key: cell index. Cell members share a blackboard, so a
         // missed notice blinds the whole cell across leader rotations.
         let mut knowledge = NeighborKnowledge::new();
-        for (_, pos) in map.active_sensors() {
+        // Sensor id of each network node, indexed by node id (chaos crash
+        // processing maps the victim back to its map sensor).
+        let mut sid_of: Vec<usize> = Vec::new();
+        for (sid, pos) in map.active_sensors() {
             let nid = net.add_node(pos, cfg.rs, rc_grid);
+            debug_assert_eq!(nid, sid_of.len());
+            sid_of.push(sid);
             {
                 let ci_new = cells.index_of(pos);
                 cells.members[ci_new].push(nid);
@@ -315,6 +352,18 @@ impl GridDecor {
 
         let mut round: u64 = 0;
         while out.placed.len() < cfg.max_new_nodes && (round as usize) < MAX_ROUNDS {
+            // Faults due by now land before any election of this round.
+            if let (Some(ch), Some(tr)) = (chaos.as_mut(), transport.as_ref()) {
+                ch.advance_to(&mut net, tr.now());
+                retire_crashed(
+                    ch.take_crashed(),
+                    map,
+                    &mut cells,
+                    &net,
+                    &sid_of,
+                    &cfg.invariants,
+                );
+            }
             if let Some(tr) = transport.as_ref() {
                 cfg.trace.set_time(tr.now());
             }
@@ -340,8 +389,21 @@ impl GridDecor {
                     round,
                     leader: leader as u64,
                 });
+                cfg.invariants.check_election(
+                    ci as u64,
+                    round,
+                    leader as u64,
+                    net.is_alive(leader),
+                );
                 let hidden = knowledge.hidden_from(ci);
                 if let Some((pid, b)) = Self::cell_best(&mut engine, map, &cells, ci, cfg, hidden) {
+                    if cfg.invariants.is_enabled() {
+                        cfg.invariants.check_estimate(
+                            pid,
+                            Self::estimated_coverage(map, pid, hidden),
+                            map.coverage(pid),
+                        );
+                    }
                     decisions.push((ci, leader, pid, b));
                     continue;
                 }
@@ -356,6 +418,13 @@ impl GridDecor {
                     if let Some((pid, b)) =
                         Self::cell_best(&mut engine, map, &cells, nc, cfg, hidden)
                     {
+                        if cfg.invariants.is_enabled() {
+                            cfg.invariants.check_estimate(
+                                pid,
+                                Self::estimated_coverage(map, pid, hidden),
+                                map.coverage(pid),
+                            );
+                        }
                         claimed_empty.push(nc);
                         decisions.push((nc, leader, pid, b));
                         break;
@@ -371,6 +440,30 @@ impl GridDecor {
             // cell is populated at all).
             if decisions.is_empty() {
                 if map.count_below(cfg.k) == 0 {
+                    // Fully covered but faults are still scheduled: a quiet
+                    // run would never reach their injection times, so force
+                    // the next batch and keep the protocol running.
+                    if let Some(ch) = chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
+                        ch.advance_next_batch(&mut net);
+                        retire_crashed(
+                            ch.take_crashed(),
+                            map,
+                            &mut cells,
+                            &net,
+                            &sid_of,
+                            &cfg.invariants,
+                        );
+                        cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 0 });
+                        cfg.trace.emit(TraceEvent::CoverageDelta {
+                            below_target: map.count_below(cfg.k) as u64,
+                        });
+                        round += 1;
+                        out.trace.push(TracePoint {
+                            total_sensors: initial + out.placed.len(),
+                            fraction_k_covered: map.fraction_k_covered(cfg.k),
+                        });
+                        continue;
+                    }
                     break;
                 }
                 // Base-station dispatch plans from ground truth (no ledger).
@@ -394,11 +487,12 @@ impl GridDecor {
                     None => {
                         // No sensors anywhere: bootstrap one out-of-band.
                         let pos = map.points()[pid];
-                        map.add_sensor(pos, cfg.rs);
+                        let new_sid = map.add_sensor(pos, cfg.rs);
                         if let Some(e) = engine.as_mut() {
                             e.on_sensor_added(map, pos, cfg.rs);
                         }
                         let nid = net.add_node(pos, cfg.rs, rc_grid);
+                        sid_of.push(new_sid);
                         {
                             let ci_new = cells.index_of(pos);
                             cells.members[ci_new].push(nid);
@@ -433,12 +527,15 @@ impl GridDecor {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
+                cfg.invariants
+                    .check_placer_alive("grid", leader as u64, net.is_alive(leader));
                 let pos = map.points()[pid];
                 let new_sid = map.add_sensor(pos, cfg.rs);
                 if let Some(e) = engine.as_mut() {
                     e.on_sensor_added(map, pos, cfg.rs);
                 }
                 let nid = net.add_node(pos, cfg.rs, rc_grid);
+                sid_of.push(new_sid);
                 {
                     let ci_new = cells.index_of(pos);
                     cells.members[ci_new].push(nid);
@@ -482,23 +579,62 @@ impl GridDecor {
                 }
             }
             if let Some(tr) = transport.as_mut() {
-                let outcomes: BTreeMap<MsgId, DeliveryOutcome> =
-                    tr.flush(&mut net).into_iter().collect();
+                // Under chaos the flush interleaves fault injection with
+                // the retry clock, so crashes land between retransmissions.
+                let flushed = match chaos.as_mut() {
+                    Some(ch) => tr.flush_chaos(&mut net, ch),
+                    None => tr.flush(&mut net),
+                };
+                let outcomes: BTreeMap<MsgId, DeliveryOutcome> = flushed.into_iter().collect();
                 for (id, nc, new_sid) in pending {
                     match outcomes.get(&id) {
-                        Some(DeliveryOutcome::Delivered { .. }) => {}
-                        // Exotic geometry put the peer leader out of direct
-                        // range: modelled as multi-hop (same as the legacy
-                        // path) — the notice arrives, at one message's cost.
+                        Some(DeliveryOutcome::Delivered { .. }) => {
+                            cfg.invariants.check_ledger(
+                                nc as u64,
+                                new_sid as u64,
+                                true,
+                                knowledge.knows(nc, new_sid),
+                            );
+                        }
+                        // The peer leader is unreachable directly — exotic
+                        // geometry, or a chaos crash mid-flight: modelled
+                        // as multi-hop (same as the legacy path) — the
+                        // notice reaches the cell, at one message's cost.
                         Some(DeliveryOutcome::PeerDown) => {
                             net.stats.protocol_sent += 1;
                             net.stats.total_sent += 1;
+                            cfg.invariants.check_ledger(
+                                nc as u64,
+                                new_sid as u64,
+                                true,
+                                knowledge.knows(nc, new_sid),
+                            );
                         }
                         // Retry budget exhausted (or unflushed, which
                         // cannot happen): the cell never hears of the
                         // sensor.
-                        _ => knowledge.hide(nc, new_sid),
+                        _ => {
+                            knowledge.hide(nc, new_sid);
+                            cfg.invariants.check_ledger(
+                                nc as u64,
+                                new_sid as u64,
+                                false,
+                                knowledge.knows(nc, new_sid),
+                            );
+                        }
                     }
+                }
+                // Crashes that fired during the flush retire their sensors
+                // before the round closes.
+                if let Some(ch) = chaos.as_mut() {
+                    retire_crashed(
+                        ch.take_crashed(),
+                        map,
+                        &mut cells,
+                        &net,
+                        &sid_of,
+                        &cfg.invariants,
+                    );
                 }
             }
 
@@ -518,12 +654,32 @@ impl GridDecor {
                 fraction_k_covered: map.fraction_k_covered(cfg.k),
             });
             if map.count_below(cfg.k) == 0 {
-                break;
+                // Covered, but faults still pending: force the next batch
+                // rather than converging early (see the stall-branch twin).
+                match chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
+                    Some(ch) => {
+                        ch.advance_next_batch(&mut net);
+                        retire_crashed(
+                            ch.take_crashed(),
+                            map,
+                            &mut cells,
+                            &net,
+                            &sid_of,
+                            &cfg.invariants,
+                        );
+                    }
+                    None => break,
+                }
             }
         }
 
         out.rounds = round as usize;
         out.fully_covered = map.count_below(cfg.k) == 0;
+        cfg.invariants.check_converged(
+            out.fully_covered,
+            chaos.as_ref().is_some_and(|ch| !ch.is_exhausted()),
+            out.placed.len() >= cfg.max_new_nodes || (round as usize) >= MAX_ROUNDS,
+        );
         let populated = cells.members.iter().filter(|m| !m.is_empty()).count();
         let total_members: usize = cells.members.iter().map(Vec::len).sum();
         let (retries, acks, notices_gave_up, duplicates_suppressed) = match &transport {
@@ -729,6 +885,74 @@ mod tests {
             );
             prev_retries = out.messages.retries;
         }
+    }
+
+    #[test]
+    fn chaos_crashes_recover_to_full_coverage() {
+        use crate::invariants::InvariantChecker;
+        use decor_net::FaultPlan;
+        let (mut map, mut cfg) = setup(2, 500, 60, 31);
+        cfg.chaos = Some(FaultPlan::parse("0 crash 3\n2 crash 17\n40 crash 8\n").unwrap());
+        cfg.invariants = InvariantChecker::enabled();
+        let out = GridDecor { cell_size: 5.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered, "uncovered: {}", map.count_below(2));
+        assert!(map.min_coverage() >= 2);
+        assert_eq!(cfg.invariants.dead(), vec![3, 8, 17]);
+        cfg.invariants.assert_green();
+    }
+
+    #[test]
+    fn chaos_partition_and_blackhole_still_converge() {
+        use crate::invariants::InvariantChecker;
+        use decor_net::FaultPlan;
+        let plan = "0 partition 0 1 2 3 4 5 6 7 8 9\n\
+                    1 blackhole 10 11\n\
+                    5 crash 12\n\
+                    200 heal\n\
+                    200 unblackhole 10 11\n";
+        let (mut map, mut cfg) = setup(2, 500, 60, 33);
+        cfg.chaos = Some(FaultPlan::parse(plan).unwrap());
+        cfg.invariants = InvariantChecker::enabled();
+        let out = GridDecor { cell_size: 5.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        cfg.invariants.assert_green();
+    }
+
+    #[test]
+    fn empty_chaos_plan_changes_nothing() {
+        use decor_net::FaultPlan;
+        let (mut m_chaos, mut cfg_chaos) = setup(2, 500, 60, 35);
+        let mut m_plain = m_chaos.clone();
+        let cfg_plain = cfg_chaos.clone();
+        cfg_chaos.chaos = Some(FaultPlan::empty());
+        cfg_chaos.invariants = crate::invariants::InvariantChecker::enabled();
+        let a = GridDecor { cell_size: 5.0 }.place(&mut m_chaos, &cfg_chaos);
+        let b = GridDecor { cell_size: 5.0 }.place(&mut m_plain, &cfg_plain);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        cfg_chaos.invariants.assert_green();
+    }
+
+    #[test]
+    fn chaos_requires_no_minimum_population() {
+        // Crash every initial sensor: the stall rescue must rebuild from
+        // nothing once the massacre ends.
+        use crate::invariants::InvariantChecker;
+        use decor_net::{FaultEvent, FaultKind, FaultPlan};
+        let (mut map, mut cfg) = setup(1, 300, 4, 37);
+        let events = (0..4)
+            .map(|n| FaultEvent {
+                at: 0,
+                kind: FaultKind::Crash { node: n },
+            })
+            .collect();
+        cfg.chaos = Some(FaultPlan::new(events));
+        cfg.invariants = InvariantChecker::enabled();
+        let out = GridDecor { cell_size: 10.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        assert_eq!(cfg.invariants.dead().len(), 4);
+        cfg.invariants.assert_green();
     }
 
     #[test]

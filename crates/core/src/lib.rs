@@ -16,8 +16,10 @@
 //!
 //! The crate also provides the [`redundancy`] metric of Fig. 9, the
 //! reliability math of §2.1 ([`reliability`]), the failure-restoration
-//! pipeline of §4.2 ([`restore`]) and a crossbeam-based parallel replica
-//! runner ([`parallel`]) used to average experiments over seeds.
+//! pipeline of §4.2 ([`restore`]), a crossbeam-based parallel replica
+//! runner ([`parallel`]) used to average experiments over seeds, and a
+//! run-time [`invariants`] checker that chaos tests attach to validate
+//! the protocol's safety properties under scripted fault injection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod coverage;
 pub mod diagnostics;
 pub mod engine;
 pub mod grid_scheme;
+pub mod invariants;
 pub mod knowledge;
 pub mod metrics;
 pub mod parallel;
@@ -48,6 +51,7 @@ pub use coverage::{CoverageMap, SensorId};
 pub use diagnostics::DeploymentDiagnostics;
 pub use engine::ShardedBenefitEngine;
 pub use grid_scheme::GridDecor;
+pub use invariants::InvariantChecker;
 pub use knowledge::NeighborKnowledge;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
 pub use random_place::RandomPlacement;

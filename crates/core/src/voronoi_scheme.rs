@@ -37,7 +37,7 @@ use crate::coverage::CoverageMap;
 use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
 use crate::Placer;
-use decor_net::{Message, MsgId, Network, NodeId, Transport};
+use decor_net::{ChaosEngine, Message, MsgId, Network, NodeId, Transport};
 use decor_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -163,6 +163,23 @@ struct OwnersScratch {
     coverers: Vec<(usize, decor_geom::Point)>,
 }
 
+/// Retires chaos-crashed nodes from the Voronoi placer's world: the
+/// coverage map deactivates the sensor (a dead agent neither covers nor
+/// owns points — map queries only visit active sensors) and the invariant
+/// checker learns the death. The ownership cache needs no surgical
+/// invalidation because chaos runs disable it (see `place_impl`).
+fn retire_crashed(
+    crashed: Vec<NodeId>,
+    map: &mut CoverageMap,
+    sid_of: &BTreeMap<NodeId, usize>,
+    checker: &crate::invariants::InvariantChecker,
+) {
+    for nid in crashed {
+        checker.note_crash(nid as u64);
+        map.deactivate_sensor(sid_of[&nid]);
+    }
+}
+
 impl Placer for VoronoiDecor {
     fn name(&self) -> String {
         format!("Voronoi (rc={:.1})", self.rc)
@@ -199,14 +216,22 @@ impl VoronoiDecor {
         );
         let lossy = cfg.link.is_lossy();
         // The ownership cache assumes estimates depend only on geometry;
-        // under loss they also depend on the evolving knowledge ledger, so
-        // fall back to full recomputation.
-        let use_cache = use_cache && !lossy;
+        // under loss they also depend on the evolving knowledge ledger,
+        // and under chaos crashes retire sensors mid-run, so fall back to
+        // full recomputation.
+        let use_cache = use_cache && !lossy && cfg.chaos.is_none();
         let field = *map.field();
         let mut net = Network::new(field);
         cfg.link.apply(&mut net);
         net.set_trace(cfg.trace.clone());
         let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        // Chaos rides the transport clock, so the fire-and-forget
+        // reference path ignores any configured plan (differential tests
+        // never combine the two).
+        let mut chaos = match (&transport, &cfg.chaos) {
+            (Some(_), Some(plan)) => Some(ChaosEngine::new(plan.clone())),
+            _ => None,
+        };
         let mut knowledge = NeighborKnowledge::new();
         let mut net_of: BTreeMap<usize, NodeId> = BTreeMap::new();
         let mut sid_of: BTreeMap<NodeId, usize> = BTreeMap::new();
@@ -236,6 +261,11 @@ impl VoronoiDecor {
         let mut rounds = 0usize;
         while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
             let round = rounds as u64;
+            // Faults due by now land before any decision of this round.
+            if let (Some(ch), Some(tr)) = (chaos.as_mut(), transport.as_ref()) {
+                ch.advance_to(&mut net, tr.now());
+                retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+            }
             if let Some(tr) = transport.as_ref() {
                 cfg.trace.set_time(tr.now());
             }
@@ -277,6 +307,18 @@ impl VoronoiDecor {
                     }
                 }
                 if let Some((pid, b)) = best {
+                    if cfg.invariants.is_enabled() {
+                        let mut measured = 0u32;
+                        map.for_each_sensor_covering(map.points()[pid], |cid, cpos| {
+                            if viewer.dist_sq(cpos) <= rc_sq
+                                && hidden.is_none_or(|h| !h.contains(&cid))
+                            {
+                                measured += 1;
+                            }
+                        });
+                        cfg.invariants
+                            .check_estimate(pid, measured, map.coverage(pid));
+                    }
                     decisions.push((sid, pid, b));
                 }
             }
@@ -284,6 +326,23 @@ impl VoronoiDecor {
             // ---- Stall rescue ----
             if decisions.is_empty() {
                 if map.count_below(cfg.k) == 0 {
+                    // Fully covered but faults are still scheduled: a quiet
+                    // run would never reach their injection times, so force
+                    // the next batch and keep the protocol running.
+                    if let Some(ch) = chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
+                        ch.advance_next_batch(&mut net);
+                        retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                        cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 0 });
+                        cfg.trace.emit(TraceEvent::CoverageDelta {
+                            below_target: map.count_below(cfg.k) as u64,
+                        });
+                        rounds += 1;
+                        out.trace.push(TracePoint {
+                            total_sensors: initial + out.placed.len(),
+                            fraction_k_covered: map.fraction_k_covered(cfg.k),
+                        });
+                        continue;
+                    }
                     break;
                 }
                 // Deficient points exist but nobody sees or reaches them:
@@ -335,6 +394,11 @@ impl VoronoiDecor {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
+                cfg.invariants.check_placer_alive(
+                    "voronoi",
+                    net_of[&agent_sid] as u64,
+                    net.is_alive(net_of[&agent_sid]),
+                );
                 let pos = map.points()[pid];
                 let new_sid = map.add_sensor(pos, cfg.rs);
                 map.for_each_point_within_unordered(pos, rc, |qid, _| owners_dirty[qid] = true);
@@ -367,7 +431,13 @@ impl VoronoiDecor {
                 }
             }
             if let Some(tr) = transport.as_mut() {
-                let outcomes: BTreeMap<MsgId, _> = tr.flush(&mut net).into_iter().collect();
+                // Under chaos the flush interleaves fault injection with
+                // the retry clock, so crashes land between retransmissions.
+                let flushed = match chaos.as_mut() {
+                    Some(ch) => tr.flush_chaos(&mut net, ch),
+                    None => tr.flush(&mut net),
+                };
+                let outcomes: BTreeMap<MsgId, _> = flushed.into_iter().collect();
                 for (id, recipient_sid, new_sid) in pending {
                     // A GaveUp notice *may* still have arrived (lost acks
                     // only); the sender cannot tell, so the model takes the
@@ -376,6 +446,17 @@ impl VoronoiDecor {
                     if !delivered {
                         knowledge.hide(recipient_sid, new_sid);
                     }
+                    cfg.invariants.check_ledger(
+                        recipient_sid as u64,
+                        new_sid as u64,
+                        delivered,
+                        knowledge.knows(recipient_sid, new_sid),
+                    );
+                }
+                // Crashes that fired during the flush retire their sensors
+                // before the round closes.
+                if let Some(ch) = chaos.as_mut() {
+                    retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
                 }
             }
 
@@ -395,12 +476,25 @@ impl VoronoiDecor {
                 fraction_k_covered: map.fraction_k_covered(cfg.k),
             });
             if map.count_below(cfg.k) == 0 {
-                break;
+                // Covered, but faults still pending: force the next batch
+                // rather than converging early (see the stall-branch twin).
+                match chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
+                    Some(ch) => {
+                        ch.advance_next_batch(&mut net);
+                        retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                    }
+                    None => break,
+                }
             }
         }
 
         out.rounds = rounds;
         out.fully_covered = map.count_below(cfg.k) == 0;
+        cfg.invariants.check_converged(
+            out.fully_covered,
+            chaos.as_ref().is_some_and(|ch| !ch.is_exhausted()),
+            out.placed.len() >= cfg.max_new_nodes || rounds >= MAX_ROUNDS,
+        );
         let agents = map.n_active_sensors().max(1);
         let (retries, acks, notices_gave_up, duplicates_suppressed) = match &transport {
             Some(tr) => (
@@ -604,6 +698,53 @@ mod tests {
             );
             prev_retries = out.messages.retries;
         }
+    }
+
+    #[test]
+    fn chaos_crashes_recover_to_full_coverage() {
+        use crate::invariants::InvariantChecker;
+        use decor_net::FaultPlan;
+        let (mut map, mut cfg) = setup(2, 500, 60, 41);
+        cfg.chaos = Some(FaultPlan::parse("0 crash 5\n3 crash 21\n50 crash 9\n").unwrap());
+        cfg.invariants = InvariantChecker::enabled();
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered, "uncovered: {}", map.count_below(2));
+        assert!(map.min_coverage() >= 2);
+        assert_eq!(cfg.invariants.dead(), vec![5, 9, 21]);
+        cfg.invariants.assert_green();
+    }
+
+    #[test]
+    fn chaos_partition_and_latency_still_converge() {
+        use crate::invariants::InvariantChecker;
+        use decor_net::FaultPlan;
+        let plan = "0 partition 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14\n\
+                    2 latency 16\n\
+                    4 crash 7\n\
+                    300 heal\n\
+                    300 latency 0\n";
+        let (mut map, mut cfg) = setup(2, 500, 60, 43);
+        cfg.chaos = Some(FaultPlan::parse(plan).unwrap());
+        cfg.invariants = InvariantChecker::enabled();
+        let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+        assert!(out.fully_covered);
+        cfg.invariants.assert_green();
+    }
+
+    #[test]
+    fn empty_chaos_plan_changes_nothing() {
+        use decor_net::FaultPlan;
+        let (mut m_chaos, mut cfg_chaos) = setup(2, 500, 60, 45);
+        let mut m_plain = m_chaos.clone();
+        let cfg_plain = cfg_chaos.clone();
+        cfg_chaos.chaos = Some(FaultPlan::empty());
+        cfg_chaos.invariants = crate::invariants::InvariantChecker::enabled();
+        let a = VoronoiDecor { rc: 8.0 }.place(&mut m_chaos, &cfg_chaos);
+        let b = VoronoiDecor { rc: 8.0 }.place(&mut m_plain, &cfg_plain);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
+        cfg_chaos.invariants.assert_green();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! decor-cli deploy   --scheme grid-small --k 3 [--points 2000] [--initial 200]
 //!                    [--seed 1] [--rs 4] [--rc 8] [--field 100] [--out sensors.csv]
 //!                    [--trace-out trace.jsonl]
+//!                    [--chaos-seed 7 | --chaos-plan plan.txt]
 //! decor-cli restore  --scheme voronoi-big --k 2 --disaster 50,50,24 [--seed 1] ...
 //! decor-cli diagnose --in sensors.csv --k 3 [--points 2000] ...
 //! ```
@@ -43,6 +44,22 @@ fn run() -> Result<(), String> {
                     out.messages.per_cell,
                     out.messages.per_node_rotated
                 );
+            }
+            if let Some(plan) = &cfg.chaos {
+                println!(
+                    "chaos: injected {} faults; replay with:\n{}",
+                    plan.len(),
+                    plan.to_text().trim_end()
+                );
+                let violations = cfg.invariants.violations();
+                if violations.is_empty() {
+                    println!("invariants: green");
+                } else {
+                    return Err(format!(
+                        "invariant violations:\n  {}",
+                        violations.join("\n  ")
+                    ));
+                }
             }
             if let Some(path) = args.flags.get("out") {
                 std::fs::write(path, sensors_to_csv(&map)).map_err(|e| e.to_string())?;

@@ -124,7 +124,11 @@ pub fn sensors_from_csv(csv: &str) -> Result<Vec<(Point, f64)>, String> {
 /// placement notices then ride the reliable transport, tunable with
 /// `--max-retries` and `--backoff`. `--trace-out <path>` attaches a
 /// JSONL trace sink to the run; the binary writes the collected trace
-/// to `<path>` afterwards.
+/// to `<path>` afterwards. `--chaos-seed <n>` generates a bounded random
+/// fault plan from the seed (replayable: the same seed and scenario give
+/// the same run) and `--chaos-plan <path>` loads one from a replay file
+/// written in `decor_net::FaultPlan`'s text format; both attach the
+/// invariant checker, and giving both is an error.
 pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), String> {
     let loss_pct: u32 = args.num_or("loss", 0u32)?;
     if loss_pct >= 100 {
@@ -143,6 +147,7 @@ pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), Stri
     link.max_retries = args.num_or("max-retries", link.max_retries)?;
     link.backoff_base = args.num_or("backoff", link.backoff_base)?;
     link.validate();
+    let chaos = chaos_plan_from(args, &params)?;
     let cfg = DeploymentConfig {
         rs: args.num_or("rs", 4.0)?,
         rc: args.num_or("rc", 8.0)?,
@@ -154,8 +159,44 @@ pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), Stri
         } else {
             decor_trace::TraceHandle::disabled()
         },
+        invariants: if chaos.is_some() {
+            decor_core::InvariantChecker::enabled()
+        } else {
+            decor_core::InvariantChecker::disabled()
+        },
+        chaos,
     };
     Ok((params, cfg))
+}
+
+/// Resolves `--chaos-seed` / `--chaos-plan` into a fault plan. The seeded
+/// generator is bounded by the scenario's initial population and a
+/// horizon scaled to the transport backoff, so every generated fault can
+/// actually land on a live run.
+fn chaos_plan_from(
+    args: &CliArgs,
+    params: &ExpParams,
+) -> Result<Option<decor_net::FaultPlan>, String> {
+    let seed = args.flags.get("chaos-seed");
+    let path = args.flags.get("chaos-plan");
+    match (seed, path) {
+        (Some(_), Some(_)) => Err("give either --chaos-seed or --chaos-plan, not both".into()),
+        (Some(_), None) => {
+            let seed: u64 = args.num_or("chaos-seed", 0u64)?;
+            Ok(Some(decor_net::FaultPlan::generate(
+                seed,
+                params.initial_nodes,
+                1000,
+            )))
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            decor_net::FaultPlan::parse(&text)
+                .map(Some)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        (None, None) => Ok(None),
+    }
 }
 
 /// Writes the trace collected in `cfg.trace` to the `--trace-out` path,
@@ -273,6 +314,48 @@ mod tests {
         let plain = parse_args(&argv("deploy")).unwrap();
         let (_, cfg) = params_from(&plain).unwrap();
         assert!(!cfg.trace.is_enabled(), "tracing is opt-in");
+    }
+
+    #[test]
+    fn chaos_seed_generates_a_replayable_plan() {
+        let a = parse_args(&argv("deploy --chaos-seed 7 --initial 40")).unwrap();
+        let (_, cfg) = params_from(&a).unwrap();
+        let plan = cfg.chaos.expect("--chaos-seed must attach a plan");
+        assert!(!plan.is_empty());
+        assert!(cfg.invariants.is_enabled(), "chaos runs are checked");
+        // Replay: the same flags produce the same plan.
+        let (_, cfg2) = params_from(&a).unwrap();
+        assert_eq!(cfg2.chaos.unwrap(), plan);
+        // No chaos flags: no plan, no checker.
+        let plain = parse_args(&argv("deploy")).unwrap();
+        let (_, cfg3) = params_from(&plain).unwrap();
+        assert!(cfg3.chaos.is_none());
+        assert!(!cfg3.invariants.is_enabled());
+    }
+
+    #[test]
+    fn chaos_plan_file_is_loaded_and_validated() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("decor_cli_chaos_plan_test.txt");
+        std::fs::write(&path, "0 crash 3\n10 partition 0 1\n50 heal\n").unwrap();
+        let a = parse_args(&argv(&format!(
+            "deploy --chaos-plan {}",
+            path.to_str().unwrap()
+        )))
+        .unwrap();
+        let (_, cfg) = params_from(&a).unwrap();
+        assert_eq!(cfg.chaos.unwrap().len(), 3);
+        std::fs::write(&path, "banana\n").unwrap();
+        assert!(params_from(&a).is_err(), "malformed plans are rejected");
+        std::fs::remove_file(&path).ok();
+        assert!(params_from(&a).is_err(), "missing files are rejected");
+    }
+
+    #[test]
+    fn chaos_seed_and_plan_are_mutually_exclusive() {
+        let a = parse_args(&argv("deploy --chaos-seed 7 --chaos-plan p.txt")).unwrap();
+        let err = params_from(&a).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
     }
 
     #[test]

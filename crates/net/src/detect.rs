@@ -10,6 +10,7 @@
 //! phase — *unsynchronized*), remembers when it last heard each neighbor,
 //! and declares a neighbor failed after `timeout_periods` silent periods.
 
+use crate::chaos::ChaosEngine;
 use crate::event::{EventQueue, Time};
 use crate::messages::Message;
 use crate::network::Network;
@@ -68,6 +69,19 @@ impl DetectionReport {
     }
 }
 
+/// The suspicion predicate of §3.2, extracted pure so the miss-count
+/// boundary is testable exactly: an observer suspects a neighbor when the
+/// silence `now - last_heard` spans at least `timeout_periods` full
+/// heartbeat periods — *exactly* at `period * timeout_periods` ticks, not
+/// one tick sooner. Any heard heartbeat moves `last_heard` forward and
+/// thereby resets the silence window from scratch.
+///
+/// Saturating: an observer clock behind the last-heard stamp (impossible
+/// in the simulator, defensive for callers) reads as zero silence.
+pub fn silent_too_long(now: Time, last_heard: Time, period: Time, timeout_periods: u32) -> bool {
+    now.saturating_sub(last_heard) >= period * timeout_periods as Time
+}
+
 #[derive(Clone, Copy, Debug)]
 enum Ev {
     /// Node broadcasts its heartbeat and reschedules.
@@ -109,10 +123,36 @@ impl HeartbeatSim {
         fail_at: Time,
         horizon: Time,
     ) -> DetectionReport {
+        self.run_inner(net, victims, fail_at, horizon, None)
+    }
+
+    /// Like [`HeartbeatSim::run`], but interleaves a [`ChaosEngine`] with
+    /// the detector's event queue: every scripted fault due at or before
+    /// an event's tick is injected before the event is handled, so
+    /// blackholes and partitions can open and close *between heartbeats*.
+    /// With an exhausted or empty plan this is exactly `run`.
+    pub fn run_with_chaos(
+        &self,
+        net: &mut Network,
+        victims: &[NodeId],
+        fail_at: Time,
+        horizon: Time,
+        chaos: &mut ChaosEngine,
+    ) -> DetectionReport {
+        self.run_inner(net, victims, fail_at, horizon, Some(chaos))
+    }
+
+    fn run_inner(
+        &self,
+        net: &mut Network,
+        victims: &[NodeId],
+        fail_at: Time,
+        horizon: Time,
+        mut chaos: Option<&mut ChaosEngine>,
+    ) -> DetectionReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut q: EventQueue<Ev> = EventQueue::new();
         let period = self.cfg.period;
-        let timeout = period * self.cfg.timeout_periods as Time;
 
         // Neighbor tables and last-heard clocks, established by an initial
         // hello exchange at t=0 (charged to the maintenance plane).
@@ -143,6 +183,9 @@ impl HeartbeatSim {
             if now > horizon {
                 break;
             }
+            if let Some(engine) = chaos.as_deref_mut() {
+                engine.advance_to(net, now);
+            }
             match ev {
                 Ev::Fail => {
                     for &v in victims {
@@ -172,7 +215,7 @@ impl HeartbeatSim {
                             // lossy medium this can misfire on alive
                             // neighbors (classified below).
                             let last = last_heard.get(&(id, nb)).copied().unwrap_or(0);
-                            if now.saturating_sub(last) >= timeout {
+                            if silent_too_long(now, last, period, self.cfg.timeout_periods) {
                                 detected.entry(nb).or_insert((now, id));
                             }
                         }
@@ -348,6 +391,143 @@ mod tests {
             (r.first_detection, r.heartbeats_sent)
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn suspicion_fires_at_exactly_the_miss_threshold() {
+        // Declared failed after *exactly* `timeout_periods` silent
+        // periods — not one tick sooner, not one period later.
+        for period in [1u64, 10, 100, 1_000] {
+            for tp in 2u32..=5 {
+                let window = period * tp as Time;
+                let last = 700 * period; // arbitrary positive last-heard
+                assert!(
+                    !silent_too_long(last + window - 1, last, period, tp),
+                    "period {period}, tp {tp}: fired a tick early"
+                );
+                assert!(
+                    silent_too_long(last + window, last, period, tp),
+                    "period {period}, tp {tp}: missed the exact boundary"
+                );
+                assert!(
+                    silent_too_long(last + window + 1, last, period, tp),
+                    "period {period}, tp {tp}: suspicion must latch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_late_heartbeat_resets_the_silence_window() {
+        let (period, tp) = (100u64, 3u32);
+        let window = period * tp as Time;
+        // Silent since t=0: about to be declared at t=300...
+        assert!(silent_too_long(window, 0, period, tp));
+        // ...but one heartbeat at t=299 resets the count from scratch:
+        let heard = window - 1;
+        assert!(!silent_too_long(window, heard, period, tp));
+        assert!(!silent_too_long(heard + window - 1, heard, period, tp));
+        // and the full threshold must elapse again after it.
+        assert!(silent_too_long(heard + window, heard, period, tp));
+    }
+
+    #[test]
+    fn suspicion_clock_saturates() {
+        // An observer stamp ahead of `now` reads as zero silence, never
+        // as a huge wrapped value.
+        assert!(!silent_too_long(50, 100, 10, 2));
+    }
+
+    #[test]
+    fn sim_detection_time_matches_the_pure_predicate() {
+        // With one observer the sim's detection instant must be the first
+        // Check tick where `silent_too_long` holds over the victim's true
+        // last beat: no off-by-one between the extracted predicate and
+        // the event loop. The victim's last beat lands in
+        // [fail_at - period, fail_at], and detection fires at the first
+        // check in [last + timeout, last + timeout + period), so the
+        // detection tick is confined to
+        // [fail_at + timeout - period, fail_at + timeout + period).
+        for seed in 0..20u64 {
+            let mut net = line_network(2, 5.0);
+            let sim = HeartbeatSim::new(cfg(seed));
+            let fail_at = 500;
+            let report = sim.run(&mut net, &[1], fail_at, 5_000);
+            let (t, observer) = report.first_detection[&1];
+            assert_eq!(observer, 0);
+            assert!(
+                (fail_at + 200..fail_at + 400).contains(&t),
+                "seed {seed}: detection at {t} outside the exact window"
+            );
+        }
+    }
+
+    #[test]
+    fn blackhole_past_the_timeout_causes_one_sided_suspicion() {
+        // A chaos blackhole opens 1 -> 0 at t=1000 for 8 periods — far
+        // past the 3-period timeout: node 0 falsely suspects node 1,
+        // while the clean reverse direction raises no alarm about 0.
+        use crate::chaos::{ChaosEngine, FaultPlan};
+        let mut net = line_network(2, 5.0);
+        let sim = HeartbeatSim::new(cfg(22));
+        let mut chaos = ChaosEngine::new(
+            FaultPlan::parse("1000 blackhole 1 0\n1800 unblackhole 1 0\n").unwrap(),
+        );
+        let report = sim.run_with_chaos(&mut net, &[], 10_000, 5_000, &mut chaos);
+        assert!(
+            report.false_positives.contains_key(&1),
+            "muted neighbor must be suspected: {report:?}"
+        );
+        assert_eq!(report.false_positives[&1].1, 0, "observer is node 0");
+        assert!(
+            !report.false_positives.contains_key(&0),
+            "reverse link is clean, node 1 keeps hearing node 0"
+        );
+        // The last heard beat lands in [900, 1000), so the 3-period
+        // threshold cannot be crossed before t=1200.
+        let (t, _) = report.false_positives[&1];
+        assert!(t >= 1200, "suspicion needs 3 silent periods (got {t})");
+    }
+
+    #[test]
+    fn blackhole_below_the_timeout_is_tolerated() {
+        // The same link mutes for only 2 periods with a 4-period timeout:
+        // the first heartbeat after the heal resets the silence window
+        // before any check crosses the threshold — no alarm.
+        use crate::chaos::{ChaosEngine, FaultPlan};
+        let mut net = line_network(2, 5.0);
+        let sim = HeartbeatSim::new(HeartbeatConfig {
+            period: 100,
+            timeout_periods: 4,
+            seed: 23,
+        });
+        let mut chaos = ChaosEngine::new(
+            FaultPlan::parse("1000 blackhole 1 0\n1200 unblackhole 1 0\n").unwrap(),
+        );
+        let report = sim.run_with_chaos(&mut net, &[], 10_000, 5_000, &mut chaos);
+        assert!(
+            report.false_positives.is_empty(),
+            "a sub-timeout mute must not alarm: {report:?}"
+        );
+    }
+
+    #[test]
+    fn run_with_empty_chaos_plan_matches_run() {
+        use crate::chaos::{ChaosEngine, FaultPlan};
+        let plain = {
+            let mut net = line_network(5, 5.0);
+            let sim = HeartbeatSim::new(cfg(9));
+            let r = sim.run(&mut net, &[2], 500, 5_000);
+            (r.first_detection, r.heartbeats_sent, net.stats.total_sent)
+        };
+        let chaotic = {
+            let mut net = line_network(5, 5.0);
+            let sim = HeartbeatSim::new(cfg(9));
+            let mut chaos = ChaosEngine::new(FaultPlan::empty());
+            let r = sim.run_with_chaos(&mut net, &[2], 500, 5_000, &mut chaos);
+            (r.first_detection, r.heartbeats_sent, net.stats.total_sent)
+        };
+        assert_eq!(plain, chaotic);
     }
 
     #[test]

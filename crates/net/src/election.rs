@@ -7,6 +7,7 @@
 //! the outcome of those protocols, not their packet exchanges: a seeded
 //! random choice for the initial election, round-robin rotation thereafter.
 
+use crate::network::Network;
 use crate::node::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -38,9 +39,62 @@ pub fn rotation_leader(members: &[NodeId], round: u64) -> Option<NodeId> {
     Some(sorted[(round % sorted.len() as u64) as usize])
 }
 
+/// The members of a cell that are alive on `net`, in the original order.
+///
+/// Elections must never consider a dead node: a crashed leader stays in
+/// the cell's static member list (cells are geometric), so callers filter
+/// through this before every [`rotation_leader`]/[`elect_random`] call.
+pub fn alive_members(members: &[NodeId], net: &Network) -> Vec<NodeId> {
+    members
+        .iter()
+        .copied()
+        .filter(|&m| net.is_alive(m))
+        .collect()
+}
+
+/// The rotation leaders a partitioned cell actually sees: one per side
+/// that holds at least one alive member.
+///
+/// While the medium is split, each side independently re-runs the
+/// election among the members *it* can reach — the paper's rotation
+/// degenerates to one leader per fragment, re-merging on heal (the
+/// rotation schedule is deterministic in `(members, round)`, so both
+/// fragments agree again the moment they exchange a round's messages).
+/// Without a partition this is a single-element vec equal to
+/// [`rotation_leader`] over the alive members.
+pub fn partition_leaders(members: &[NodeId], net: &Network, round: u64) -> Vec<NodeId> {
+    let alive = alive_members(members, net);
+    let Some(side_a) = net.partition_side_a() else {
+        return rotation_leader(&alive, round).into_iter().collect();
+    };
+    let (a, b): (Vec<NodeId>, Vec<NodeId>) = alive.iter().partition(|m| side_a.contains(m));
+    let mut leaders = Vec::new();
+    leaders.extend(rotation_leader(&a, round));
+    leaders.extend(rotation_leader(&b, round));
+    leaders.sort_unstable();
+    leaders
+}
+
+/// Is `claimant` a deposed leader — one whose placement decisions the
+/// cell must reject? True when the claimant is dead, or is not the
+/// current rotation leader of any partition side for `round`.
+pub fn is_deposed(claimant: NodeId, members: &[NodeId], net: &Network, round: u64) -> bool {
+    !partition_leaders(members, net, round).contains(&claimant)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decor_geom::{Aabb, Point};
+
+    /// A 4-member cell on a shared medium: ids 0..4 in mutual range.
+    fn cell_net() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new(Aabb::square(100.0));
+        let members: Vec<NodeId> = (0..4)
+            .map(|i| net.add_node(Point::new(10.0 + 2.0 * i as f64, 10.0), 4.0, 8.0))
+            .collect();
+        (net, members)
+    }
 
     #[test]
     fn empty_cell_has_no_leader() {
@@ -106,5 +160,105 @@ mod tests {
         for r in 0..5 {
             assert_eq!(rotation_leader(&[42], r), Some(42));
         }
+    }
+
+    #[test]
+    fn dead_members_never_lead() {
+        let (mut net, members) = cell_net();
+        net.fail_node(0);
+        net.fail_node(2);
+        for round in 0..8 {
+            let alive = alive_members(&members, &net);
+            assert_eq!(alive, vec![1, 3]);
+            let leader = rotation_leader(&alive, round).unwrap();
+            assert!(
+                net.is_alive(leader),
+                "round {round} elected dead node {leader}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_elects_one_leader_per_side() {
+        let (mut net, members) = cell_net();
+        net.set_partition([0, 1]);
+        let leaders = partition_leaders(&members, &net, 0);
+        assert_eq!(leaders, vec![0, 2], "round-robin head of each side");
+        // Each side's leader is reachable from its own side only.
+        assert!(net
+            .unicast(1, 0, crate::Message::Hello { pos: Point::ORIGIN })
+            .is_ok());
+        assert!(net
+            .unicast(1, 2, crate::Message::Hello { pos: Point::ORIGIN })
+            .is_err());
+    }
+
+    #[test]
+    fn leader_crash_inside_a_partition_reelects_on_both_sides() {
+        let (mut net, members) = cell_net();
+        net.set_partition([0, 1]);
+        // Crash both current side leaders mid-round.
+        net.fail_node(0);
+        net.fail_node(2);
+        let leaders = partition_leaders(&members, &net, 0);
+        assert_eq!(leaders, vec![1, 3], "each side promoted its survivor");
+        for &l in &leaders {
+            assert!(net.is_alive(l));
+        }
+    }
+
+    #[test]
+    fn heal_converges_to_a_single_leader() {
+        let (mut net, members) = cell_net();
+        net.set_partition([0, 1]);
+        assert_eq!(partition_leaders(&members, &net, 3).len(), 2);
+        net.heal_partition();
+        for round in 0..8 {
+            let leaders = partition_leaders(&members, &net, round);
+            assert_eq!(
+                leaders.len(),
+                1,
+                "round {round}: healed cell must agree on one leader"
+            );
+            assert_eq!(
+                leaders[0],
+                rotation_leader(&members, round).unwrap(),
+                "healed schedule equals the unpartitioned rotation"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sided_partition_leaves_one_side_leaderless() {
+        let (mut net, members) = cell_net();
+        // Every member lands on side A: side B of this cell is empty.
+        net.set_partition([0, 1, 2, 3]);
+        assert_eq!(partition_leaders(&members, &net, 0).len(), 1);
+    }
+
+    #[test]
+    fn deposed_leader_is_rejected() {
+        let (mut net, members) = cell_net();
+        // Round 0: node 0 leads the whole cell.
+        assert!(!is_deposed(0, &members, &net, 0));
+        assert!(is_deposed(1, &members, &net, 0));
+        // Node 0 crashes: its claim for round 0 is now stale and any
+        // placement it announces must be rejected.
+        net.fail_node(0);
+        assert!(is_deposed(0, &members, &net, 0));
+        assert!(!is_deposed(1, &members, &net, 0), "successor took over");
+        // Across a partition, a leader from one side is not a valid
+        // leader for the other side's round — but it is still *a*
+        // current leader, so its own fragment accepts it.
+        let (mut net2, members2) = cell_net();
+        net2.set_partition([0, 1]);
+        assert!(!is_deposed(0, &members2, &net2, 0));
+        assert!(!is_deposed(2, &members2, &net2, 0));
+        assert!(is_deposed(1, &members2, &net2, 0));
+        // Heal: the merged cell rejects the side-B leader's claim once
+        // rotation re-unifies.
+        net2.heal_partition();
+        assert!(is_deposed(2, &members2, &net2, 0));
+        assert!(!is_deposed(0, &members2, &net2, 0));
     }
 }

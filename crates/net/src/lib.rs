@@ -24,6 +24,9 @@
 //!   terminal delivery outcomes;
 //! - [`election`] — randomized leader election with round-robin rotation
 //!   (the paper's cited LEACH-style algorithms, abstracted);
+//! - [`chaos`] — deterministic fault injection: sim-time-ordered
+//!   [`FaultPlan`] scripts (crashes, partitions, blackholes, latency
+//!   spikes, drains), a seeded plan generator, and ddmin plan shrinking;
 //! - [`energy`] — a tx/rx/idle energy model.
 //!
 //! Everything is deterministic given explicit seeds; nothing here spawns
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod detect;
 pub mod election;
 pub mod energy;
@@ -45,6 +49,7 @@ pub mod routing;
 pub mod sleep;
 pub mod transport;
 
+pub use chaos::{shrink_plan, ChaosEngine, FaultEvent, FaultKind, FaultPlan};
 pub use detect::{DetectionReport, HeartbeatConfig, HeartbeatSim};
 pub use election::{elect_random, rotation_leader};
 pub use energy::EnergyModel;

@@ -2,10 +2,12 @@
 //! message delivery, and per-node message/energy accounting.
 
 use crate::energy::EnergyModel;
+use crate::event::Time;
 use crate::messages::Message;
 use crate::node::{Node, NodeId};
 use decor_geom::{Aabb, GridIndex, Point};
 use decor_trace::{TraceEvent, TraceHandle};
+use std::collections::BTreeSet;
 
 /// Per-node and aggregate traffic statistics.
 ///
@@ -118,6 +120,14 @@ pub struct Network {
     pub stats: NetStats,
     /// Optional structured-event sink; disabled by default (zero cost).
     trace: TraceHandle,
+    /// Chaos partition: when set, packets only flow between nodes on the
+    /// same side (side A = the set, side B = everyone else).
+    partition: Option<BTreeSet<NodeId>>,
+    /// Chaos-blackholed directed links: packets `from -> to` vanish in
+    /// the air (the sender still pays, like a lossy drop).
+    blackholes: BTreeSet<(NodeId, NodeId)>,
+    /// Chaos latency spike: extra ticks added to every transport backoff.
+    extra_latency: Time,
 }
 
 impl Network {
@@ -138,6 +148,9 @@ impl Network {
             loss_state: 0,
             stats: NetStats::default(),
             trace: TraceHandle::disabled(),
+            partition: None,
+            blackholes: BTreeSet::new(),
+            extra_latency: 0,
         }
     }
 
@@ -176,6 +189,78 @@ impl Network {
         self.loss_state = self.loss_state.wrapping_add(0x9E3779B97F4A7C15);
         let z = splitmix64_mix(self.loss_state);
         ((z >> 11) as f64 / (1u64 << 53) as f64) < self.loss_rate
+    }
+
+    /// Splits the medium in two: packets cross between `side_a` and the
+    /// rest of the network only after [`Network::heal_partition`]. Nodes
+    /// on the same side keep communicating normally. Replaces any
+    /// previous partition.
+    pub fn set_partition(&mut self, side_a: impl IntoIterator<Item = NodeId>) {
+        self.partition = Some(side_a.into_iter().collect());
+    }
+
+    /// Removes the partition (if any); the medium is whole again.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Is a partition currently in effect?
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// The partition's side-A membership set, when one is in effect.
+    pub fn partition_side_a(&self) -> Option<&BTreeSet<NodeId>> {
+        self.partition.as_ref()
+    }
+
+    /// Blackholes the directed link `from -> to`: packets on it vanish
+    /// in the air until [`Network::clear_blackhole`]. The reverse
+    /// direction is unaffected.
+    pub fn set_blackhole(&mut self, from: NodeId, to: NodeId) {
+        self.blackholes.insert((from, to));
+    }
+
+    /// Restores the directed link `from -> to`.
+    pub fn clear_blackhole(&mut self, from: NodeId, to: NodeId) {
+        self.blackholes.remove(&(from, to));
+    }
+
+    /// Removes every blackholed link.
+    pub fn clear_all_blackholes(&mut self) {
+        self.blackholes.clear();
+    }
+
+    /// Extra ticks the reliable transport adds to every retry backoff
+    /// (a chaos latency spike). 0 = nominal timing.
+    pub fn extra_latency(&self) -> Time {
+        self.extra_latency
+    }
+
+    /// Sets the chaos latency spike; 0 restores nominal timing.
+    pub fn set_extra_latency(&mut self, extra: Time) {
+        self.extra_latency = extra;
+    }
+
+    /// Charges `amount` of energy to node `id` without any transmission
+    /// (a chaos energy drain). Unknown ids are ignored.
+    pub fn drain_energy(&mut self, id: NodeId, amount: f64) {
+        if let Some(e) = self.stats.energy.get_mut(id) {
+            *e += amount;
+        }
+    }
+
+    /// Is the directed link `from -> to` severed by a partition or a
+    /// blackhole? Pure — consumes no loss-stream state, so attaching an
+    /// empty chaos plan leaves the packet-loss sequence untouched.
+    fn link_cut(&self, from: NodeId, to: NodeId) -> bool {
+        if self.blackholes.contains(&(from, to)) {
+            return true;
+        }
+        match &self.partition {
+            Some(side_a) => side_a.contains(&from) != side_a.contains(&to),
+            None => false,
+        }
     }
 
     /// The monitored field.
@@ -334,6 +419,17 @@ impl Network {
             to: to as u64,
             msg: msg.kind(),
         });
+        // A severed link (chaos partition/blackhole) eats the packet after
+        // the sender paid, exactly like a lossy drop — but without drawing
+        // from the loss stream, so runs without chaos faults are unaffected.
+        if self.link_cut(from, to) {
+            self.trace.emit(TraceEvent::MsgDrop {
+                from: from as u64,
+                to: to as u64,
+                msg: msg.kind(),
+            });
+            return Err(SendError::Lost);
+        }
         if self.packet_lost() {
             self.trace.emit(TraceEvent::MsgDrop {
                 from: from as u64,
@@ -384,6 +480,14 @@ impl Network {
         // On a lossy medium each listener drops the frame independently.
         let mut heard = Vec::with_capacity(receivers.len());
         for r in receivers {
+            if self.link_cut(from, r) {
+                self.trace.emit(TraceEvent::MsgDrop {
+                    from: from as u64,
+                    to: r as u64,
+                    msg: msg.kind(),
+                });
+                continue;
+            }
             if self.packet_lost() {
                 self.trace.emit(TraceEvent::MsgDrop {
                     from: from as u64,
@@ -643,6 +747,93 @@ mod tests {
     fn invalid_loss_rate_panics() {
         let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
         net.set_loss(1.0, 0);
+    }
+
+    #[test]
+    fn partition_cuts_cross_side_links_only() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0), (12.0, 14.0)], 4.0, 8.0);
+        let msg = Message::Hello { pos: Point::ORIGIN };
+        net.set_partition([0, 2]);
+        assert!(net.is_partitioned());
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::Lost));
+        assert_eq!(net.unicast(1, 0, msg), Err(SendError::Lost));
+        assert_eq!(net.unicast(0, 2, msg), Ok(()), "same side still flows");
+        assert_eq!(
+            net.stats.sent_by(0),
+            2,
+            "sender pays for partitioned attempts"
+        );
+        net.heal_partition();
+        assert!(!net.is_partitioned());
+        assert_eq!(net.unicast(0, 1, msg), Ok(()));
+    }
+
+    #[test]
+    fn blackhole_is_directional() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        let msg = Message::Hello { pos: Point::ORIGIN };
+        net.set_blackhole(0, 1);
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::Lost));
+        assert_eq!(net.unicast(1, 0, msg), Ok(()), "reverse link unaffected");
+        net.clear_blackhole(0, 1);
+        assert_eq!(net.unicast(0, 1, msg), Ok(()));
+    }
+
+    #[test]
+    fn partition_drops_broadcast_listeners_across_the_cut() {
+        let mut net = net_with(&[(50.0, 50.0), (54.0, 50.0), (50.0, 54.0)], 4.0, 8.0);
+        net.set_partition([0, 1]);
+        let rx = net.broadcast(
+            0,
+            Message::Heartbeat {
+                pos: Point::new(50.0, 50.0),
+            },
+        );
+        assert_eq!(rx, vec![1], "node 2 is on the far side");
+    }
+
+    #[test]
+    fn chaos_cuts_do_not_consume_the_loss_stream() {
+        let outcomes = |blackhole_first: bool| {
+            let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+            net.set_loss(0.5, 7);
+            if blackhole_first {
+                net.set_blackhole(0, 1);
+                for _ in 0..5 {
+                    assert_eq!(
+                        net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN }),
+                        Err(SendError::Lost)
+                    );
+                }
+                net.clear_blackhole(0, 1);
+            }
+            (0..16)
+                .map(|_| {
+                    net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN })
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(outcomes(false), outcomes(true));
+    }
+
+    #[test]
+    fn drain_energy_charges_without_traffic() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        net.drain_energy(0, 1.5);
+        net.drain_energy(99, 1.0); // unknown id ignored
+        assert_eq!(net.stats.energy_of(0), 1.5);
+        assert_eq!(net.stats.total_sent, 0);
+    }
+
+    #[test]
+    fn extra_latency_roundtrips() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        assert_eq!(net.extra_latency(), 0);
+        net.set_extra_latency(16);
+        assert_eq!(net.extra_latency(), 16);
+        net.set_extra_latency(0);
+        assert_eq!(net.extra_latency(), 0);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! assert!(matches!(outcomes[0].1, DeliveryOutcome::Delivered { .. }));
 //! ```
 
+use crate::chaos::ChaosEngine;
 use crate::event::{EventQueue, Time};
 use crate::messages::Message;
 use crate::network::{Network, SendError};
@@ -251,6 +252,26 @@ impl Transport {
         std::mem::take(&mut self.finished)
     }
 
+    /// Like [`Transport::flush`], but interleaves a [`ChaosEngine`] with
+    /// the retry clock: before every pop, all faults due at or before the
+    /// popped instant are injected. A scripted crash therefore lands
+    /// *between retries* of an in-flight message — the attempt after it
+    /// concludes [`DeliveryOutcome::PeerDown`], exactly as a mid-exchange
+    /// death behaves on the real medium. With an exhausted (or empty)
+    /// plan this is byte-for-byte `flush`.
+    pub fn flush_chaos(
+        &mut self,
+        net: &mut Network,
+        chaos: &mut ChaosEngine,
+    ) -> Vec<(MsgId, DeliveryOutcome)> {
+        while let Some(t) = self.clock.peek_time() {
+            chaos.advance_to(net, t);
+            let (_, id) = self.clock.pop().expect("peeked event is poppable");
+            self.attempt(net, id);
+        }
+        std::mem::take(&mut self.finished)
+    }
+
     /// Convenience: send one message and drive it to its terminal outcome.
     pub fn send_now(
         &mut self,
@@ -302,9 +323,9 @@ impl Transport {
         }
     }
 
-    /// Retries `id` after exponential backoff, or gives up once the budget
-    /// is spent.
-    fn retry_or_give_up(&mut self, id: MsgId) {
+    /// Retries `id` after exponential backoff (plus any chaos latency
+    /// spike), or gives up once the budget is spent.
+    fn retry_or_give_up(&mut self, id: MsgId, extra_latency: Time) {
         let attempts = self.flights[id].attempts;
         // The budget is 1 first try + max_retries retransmissions.
         if attempts > self.cfg.max_retries {
@@ -313,7 +334,8 @@ impl Transport {
             // attempts = 1 → wait base; 2 → 2·base; … (shift capped well
             // below overflow).
             let exp = (attempts - 1).min(32);
-            self.clock.schedule_after(self.cfg.backoff_base << exp, id);
+            self.clock
+                .schedule_after((self.cfg.backoff_base << exp) + extra_latency, id);
         }
     }
 
@@ -365,10 +387,10 @@ impl Transport {
                     // Lost ack, asymmetric range, or a sender that died
                     // mid-exchange: the sender hears nothing and behaves
                     // exactly as if the data frame was lost.
-                    Err(_) => self.retry_or_give_up(id),
+                    Err(_) => self.retry_or_give_up(id, net.extra_latency()),
                 }
             }
-            Err(SendError::Lost) => self.retry_or_give_up(id),
+            Err(SendError::Lost) => self.retry_or_give_up(id, net.extra_latency()),
             Err(SendError::SenderDown | SendError::ReceiverDown | SendError::OutOfRange) => {
                 self.conclude(id, DeliveryOutcome::PeerDown)
             }
@@ -635,6 +657,76 @@ mod tests {
             tr.stats.data_transmissions + tr.stats.acks
         );
         assert!(counts["msg_drop"] > 0, "40% loss must drop frames");
+    }
+
+    #[test]
+    fn chaos_crash_lands_between_retries() {
+        use crate::chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
+        // Receiver dies at t=3, between the first attempt (t=0) and the
+        // first retry (t=4): the retry must conclude PeerDown instead of
+        // burning the rest of the budget.
+        let mut net = pair_net();
+        net.set_loss(0.999, 3);
+        let mut tr = Transport::new(TransportConfig::default());
+        let mut chaos = ChaosEngine::new(FaultPlan::new(vec![FaultEvent {
+            at: 3,
+            kind: FaultKind::Crash { node: 1 },
+        }]));
+        let id = tr.send(0, 1, notice());
+        let outcomes = tr.flush_chaos(&mut net, &mut chaos);
+        assert_eq!(outcomes, vec![(id, DeliveryOutcome::PeerDown)]);
+        assert!(!net.is_alive(1));
+        assert!(chaos.is_exhausted());
+        assert_eq!(chaos.take_crashed(), vec![1]);
+    }
+
+    #[test]
+    fn chaos_latency_spike_stretches_backoff() {
+        use crate::chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
+        let mut net = pair_net();
+        net.set_loss(0.999, 3);
+        let cfg = TransportConfig {
+            max_retries: 2,
+            backoff_base: 4,
+        };
+        // Nominal give-up path visits backoffs 4 + 8 = 12 ticks.
+        let mut tr = Transport::new(cfg);
+        tr.send(0, 1, notice());
+        tr.flush(&mut net);
+        assert_eq!(tr.now(), 12);
+        // A +10 spike from t=0 makes it (4+10) + (8+10) = 32.
+        let mut net = pair_net();
+        net.set_loss(0.999, 3);
+        let mut tr = Transport::new(cfg);
+        let mut chaos = ChaosEngine::new(FaultPlan::new(vec![FaultEvent {
+            at: 0,
+            kind: FaultKind::Latency { extra: 10 },
+        }]));
+        tr.send(0, 1, notice());
+        tr.flush_chaos(&mut net, &mut chaos);
+        assert_eq!(tr.now(), 32);
+    }
+
+    #[test]
+    fn flush_chaos_with_empty_plan_matches_flush() {
+        use crate::chaos::{ChaosEngine, FaultPlan};
+        let run = |use_chaos: bool| {
+            let mut net = pair_net();
+            net.set_loss(0.45, 77);
+            let mut tr = Transport::new(TransportConfig::default());
+            let mut chaos = ChaosEngine::new(FaultPlan::empty());
+            let mut outs = Vec::new();
+            for _ in 0..30 {
+                tr.send(0, 1, notice());
+                if use_chaos {
+                    outs.extend(tr.flush_chaos(&mut net, &mut chaos));
+                } else {
+                    outs.extend(tr.flush(&mut net));
+                }
+            }
+            (outs, tr.stats, net.stats.total_sent)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

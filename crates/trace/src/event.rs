@@ -118,6 +118,47 @@ pub enum TraceEvent {
         /// Points still below the coverage target.
         below_target: u64,
     },
+    /// A chaos fault crashed a node (ground truth, injected by the fault
+    /// plan — distinct from [`TraceEvent::NodeFailed`], which other nets
+    /// in the same run may emit under their own id space).
+    ChaosCrash {
+        /// The crashed node, in the chaos network's id space.
+        node: u64,
+    },
+    /// A chaos fault partitioned the network into two sides.
+    ChaosPartition {
+        /// Number of node ids on side A of the cut.
+        side: u64,
+    },
+    /// A chaos fault healed the current partition.
+    ChaosHeal,
+    /// A chaos fault blackholed one directed link.
+    ChaosBlackhole {
+        /// Sending side of the muted link.
+        from: u64,
+        /// Receiving side of the muted link.
+        to: u64,
+    },
+    /// A chaos fault restored a blackholed directed link.
+    ChaosUnblackhole {
+        /// Sending side of the restored link.
+        from: u64,
+        /// Receiving side of the restored link.
+        to: u64,
+    },
+    /// A chaos fault changed the network-wide extra latency.
+    ChaosLatency {
+        /// Extra ticks added to every retransmission backoff (0 restores
+        /// nominal timing).
+        extra: u64,
+    },
+    /// A chaos fault drained energy from a node's battery accounting.
+    ChaosDrain {
+        /// The drained node.
+        node: u64,
+        /// Energy units drained.
+        amount: f64,
+    },
 }
 
 impl TraceEvent {
@@ -140,6 +181,13 @@ impl TraceEvent {
             TraceEvent::RoundBegin { .. } => "round_begin",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::CoverageDelta { .. } => "coverage_delta",
+            TraceEvent::ChaosCrash { .. } => "chaos_crash",
+            TraceEvent::ChaosPartition { .. } => "chaos_partition",
+            TraceEvent::ChaosHeal => "chaos_heal",
+            TraceEvent::ChaosBlackhole { .. } => "chaos_blackhole",
+            TraceEvent::ChaosUnblackhole { .. } => "chaos_unblackhole",
+            TraceEvent::ChaosLatency { .. } => "chaos_latency",
+            TraceEvent::ChaosDrain { .. } => "chaos_drain",
         }
     }
 }
@@ -224,6 +272,23 @@ impl TraceRecord {
             }
             TraceEvent::CoverageDelta { below_target } => {
                 let _ = write!(s, ",\"below\":{below_target}");
+            }
+            TraceEvent::ChaosCrash { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            TraceEvent::ChaosPartition { side } => {
+                let _ = write!(s, ",\"side\":{side}");
+            }
+            TraceEvent::ChaosHeal => {}
+            TraceEvent::ChaosBlackhole { from, to } | TraceEvent::ChaosUnblackhole { from, to } => {
+                let _ = write!(s, ",\"from\":{from},\"to\":{to}");
+            }
+            TraceEvent::ChaosLatency { extra } => {
+                let _ = write!(s, ",\"extra\":{extra}");
+            }
+            TraceEvent::ChaosDrain { node, amount } => {
+                let _ = write!(s, ",\"node\":{node},\"amount\":");
+                push_f64(&mut s, *amount);
             }
         }
         s.push('}');
@@ -325,6 +390,16 @@ mod tests {
                 placed: 4,
             },
             TraceEvent::CoverageDelta { below_target: 11 },
+            TraceEvent::ChaosCrash { node: 3 },
+            TraceEvent::ChaosPartition { side: 4 },
+            TraceEvent::ChaosHeal,
+            TraceEvent::ChaosBlackhole { from: 1, to: 2 },
+            TraceEvent::ChaosUnblackhole { from: 1, to: 2 },
+            TraceEvent::ChaosLatency { extra: 16 },
+            TraceEvent::ChaosDrain {
+                node: 5,
+                amount: 1.5,
+            },
         ];
         for ev in events {
             let kind = ev.kind();
@@ -360,6 +435,26 @@ mod tests {
         })
         .canonical();
         assert!(line.contains("\"x\":null,\"y\":null"), "{line}");
+    }
+
+    #[test]
+    fn chaos_variants_serialize_canonically() {
+        assert_eq!(
+            rec(TraceEvent::ChaosCrash { node: 9 }).canonical(),
+            r#"{"seq":3,"t":17,"ev":"chaos_crash","node":9}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::ChaosHeal).canonical(),
+            r#"{"seq":3,"t":17,"ev":"chaos_heal"}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::ChaosDrain {
+                node: 2,
+                amount: 0.5
+            })
+            .canonical(),
+            r#"{"seq":3,"t":17,"ev":"chaos_drain","node":2,"amount":0.5}"#
+        );
     }
 
     #[test]
