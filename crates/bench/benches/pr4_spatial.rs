@@ -46,7 +46,9 @@ fn bench_queries(c: &mut Criterion) {
     let field = field();
     let points = halton_points(N_PTS, &field);
     let queries = query_batch(&points);
-    let cell = RS.max(field.width().min(field.height()) / 64.0);
+    // Same policy as CoverageMap: rs-sized buckets with a density floor
+    // (resolves to exactly 4.0 here, as the old /64 formula did).
+    let cell = decor_geom::query_bucket_edge(RS, field.width().min(field.height()), N_PTS);
     let mut legacy = GridIndex::new(field.min, (field.width(), field.height()), cell);
     for (id, &p) in points.iter().enumerate() {
         legacy.insert(id, p);

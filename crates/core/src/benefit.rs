@@ -17,18 +17,20 @@
 //!   ablation suite).
 
 use crate::coverage::CoverageMap;
-use decor_geom::{FrozenGridIndex, Point};
+use decor_geom::{query_bucket_edge, FrozenGridIndex, Point};
 
 /// Direct evaluation of Equation 1 at candidate position `c`.
+///
+/// Two fast paths: when the coverage map's tile summaries say no point in
+/// the disk is below the target requirement (and `k` is at most that
+/// target), the benefit is zero without any scan; otherwise the deficit is
+/// accumulated by the chunked slab kernel in
+/// [`CoverageMap::deficit_within`].
 pub fn benefit_at(map: &CoverageMap, c: Point, rs: f64, k: u32) -> u64 {
-    let mut b = 0u64;
-    map.for_each_point_within_unordered(c, rs, |pid, _| {
-        let kp = map.coverage(pid);
-        if kp < k {
-            b += (k - kp) as u64;
-        }
-    });
-    b
+    if k <= map.k_target() && map.disk_fully_covered(c, rs) {
+        return 0;
+    }
+    map.deficit_within(c, rs, k)
 }
 
 /// Incrementally-maintained benefits over a fixed candidate set.
@@ -58,7 +60,11 @@ impl BenefitTable {
     /// initial benefit directly.
     pub fn new(map: &CoverageMap, cand_pids: Vec<usize>, rs: f64, k: u32) -> Self {
         let field = map.field();
-        let bucket = rs.max(field.width().min(field.height()) / 64.0);
+        let bucket = query_bucket_edge(
+            rs,
+            field.width().min(field.height()),
+            cand_pids.len().max(1),
+        );
         let mut cand_pos = Vec::with_capacity(cand_pids.len());
         let mut benefits = Vec::with_capacity(cand_pids.len());
         for &pid in &cand_pids {

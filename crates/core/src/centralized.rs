@@ -69,7 +69,18 @@ impl Placer for CentralizedGreedy {
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
         cfg.validate();
         let initial = map.n_active_sensors();
-        let cands: Vec<usize> = (0..map.n_points()).collect();
+        // Output-sensitive candidate set: any positive-benefit candidate
+        // has a deficient point within `rs`, so it lives in a deficient
+        // tile or its one-ring — and coverage only grows during greedy
+        // placement, so the initial set stays a superset throughout. The
+        // tile summaries track deficiency at `k_target`; a stricter
+        // requirement would see deficits the tiles don't, so fall back to
+        // the full sweep there.
+        let cands: Vec<usize> = if cfg.k <= map.k_target() {
+            map.deficit_candidates(cfg.rs)
+        } else {
+            (0..map.n_points()).collect()
+        };
         let mut engine = ShardedBenefitEngine::global(map, cands, cfg.rs, cfg.k);
         let mut out = PlacementOutcome {
             initial_sensors: initial,
@@ -232,6 +243,38 @@ mod tests {
                 assert_eq!(ta.fraction_k_covered, tb.fraction_k_covered);
             }
         }
+    }
+
+    #[test]
+    fn restoration_from_damage_hole_matches_reference_path() {
+        // The engine path restricts candidates to deficient tiles plus an
+        // rs-ring; the reference path sweeps every point. After an area
+        // failure both must restore with bit-identical placements.
+        let cfg = DeploymentConfig::with_k(2);
+        let mut map = fresh_map(900, &cfg);
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                ids.push(map.add_sensor(
+                    decor_geom::Point::new(2.5 + 5.0 * i as f64, 2.5 + 5.0 * j as f64),
+                    cfg.rs,
+                ));
+            }
+        }
+        // Kill everything within 18 units of the field center.
+        let hole = decor_geom::Point::new(50.0, 50.0);
+        for &id in &ids {
+            if map.sensor_pos(id).dist(hole) <= 18.0 {
+                map.deactivate_sensor(id);
+            }
+        }
+        assert!(map.count_below(cfg.k) > 0, "the hole must create deficit");
+        let mut m_table = map.clone();
+        let a = CentralizedGreedy.place(&mut map, &cfg);
+        let b = CentralizedGreedy.place_with_benefit_table(&mut m_table, &cfg);
+        assert_eq!(a.placed, b.placed, "restoration placements must match");
+        assert!(a.fully_covered);
+        map.verify_consistency();
     }
 
     #[test]

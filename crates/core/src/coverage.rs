@@ -9,11 +9,16 @@
 //! failure experiments without rebuilding the map.
 
 use crate::config::DeploymentConfig;
-use decor_geom::{Aabb, FrozenGridIndex, GridIndex, Point};
-use std::collections::BTreeSet;
+use decor_geom::{query_bucket_edge, Aabb, FrozenGridIndex, GridIndex, Point};
+use std::collections::BTreeMap;
 
 /// Index of a sensor within its [`CoverageMap`].
 pub type SensorId = usize;
+
+/// Tile edge in point-index buckets: the coarse summary layer groups
+/// 16×16 buckets per tile. The bucket edge is at least `rs`, so a tile is
+/// at least `16·rs` wide and any `rs`-disk touches at most 4 tiles.
+const TILE_BUCKETS: f64 = 16.0;
 
 #[derive(Clone, Copy, Debug)]
 struct Sensor {
@@ -42,22 +47,45 @@ struct Sensor {
 pub struct CoverageMap {
     field: Aabb,
     points: Vec<Point>,
-    coverage: Vec<u32>,
+    /// Per-point coverage counts as a dense `u8` slab — a quarter of the
+    /// old `Vec<u32>` footprint, so the chunked deficit kernels stream
+    /// it from cache. Additions guard against saturation (see
+    /// [`CoverageMap::add_sensor`]).
+    coverage: Vec<u8>,
     /// The approximation points never move after construction, so they
     /// live in the read-only CSR index (contiguous slabs, early exit);
     /// only the sensors need the mutable bucket grid.
     pt_index: FrozenGridIndex,
     sensors: Vec<Sensor>,
     sensor_index: GridIndex,
+    /// Histogram of *active* sensing radii keyed by `f64::to_bits`
+    /// (positive finite floats order the same as their bit patterns), so
+    /// the maximum query radius follows deactivations instead of
+    /// ratcheting up forever.
+    rs_hist: BTreeMap<u64, u32>,
+    /// Cached largest key of `rs_hist` (0.0 when no sensor is active).
     max_rs: f64,
     /// The configured coverage requirement; [`CoverageMap::uncovered_ids`]
-    /// answers queries at this `k` from `below_target` without a sweep.
+    /// answers queries at this `k` from the deficient tiles without a
+    /// field sweep.
     k_target: u32,
     /// `cov_hist[c]` = number of points with coverage exactly `c`.
     cov_hist: Vec<usize>,
-    /// Ids of points with coverage below `k_target` (kept exact on every
-    /// sensor add/deactivate/reactivate).
-    below_target: BTreeSet<usize>,
+    // --- coarse tile summary layer (16×16 buckets per tile) ---
+    tile_cols: usize,
+    tile_rows: usize,
+    tile_edge: f64,
+    /// Tile index of each approximation point.
+    tile_of_pid: Vec<u32>,
+    /// Per tile: number of points with coverage below `k_target`. A zero
+    /// is the "fully k-covered" summary bit that lets benefit scoring,
+    /// `uncovered_ids` and restoration scans skip the whole tile.
+    tile_below: Vec<u32>,
+    /// CSR tile → points: tile `t` owns
+    /// `tile_pids[tile_starts[t] .. tile_starts[t + 1]]`, each group in
+    /// ascending point-id order.
+    tile_starts: Vec<u32>,
+    tile_pids: Vec<u32>,
 }
 
 impl CoverageMap {
@@ -77,7 +105,8 @@ impl CoverageMap {
                 "approximation point {p} outside the field"
             );
         }
-        let bucket = cfg.rs.max(field.width().min(field.height()) / 64.0);
+        let min_dim = field.width().min(field.height());
+        let bucket = query_bucket_edge(cfg.rs, min_dim, points.len());
         let pt_index = FrozenGridIndex::from_points(
             field.min,
             (field.width(), field.height()),
@@ -86,6 +115,38 @@ impl CoverageMap {
         );
         let sensor_index = GridIndex::new(field.min, (field.width(), field.height()), bucket);
         let n = points.len();
+
+        // Tile layer: counting-sort the points into a tile CSR (ascending
+        // id within each tile, since ids are visited in order).
+        let tile_edge = bucket * TILE_BUCKETS;
+        let tile_cols = (field.width() / tile_edge).ceil().max(1.0) as usize;
+        let tile_rows = (field.height() / tile_edge).ceil().max(1.0) as usize;
+        let n_tiles = tile_cols * tile_rows;
+        let mut tile_of_pid = Vec::with_capacity(n);
+        let mut counts = vec![0u32; n_tiles];
+        for &p in &points {
+            let tx =
+                (((p.x - field.min.x) / tile_edge).floor().max(0.0) as usize).min(tile_cols - 1);
+            let ty =
+                (((p.y - field.min.y) / tile_edge).floor().max(0.0) as usize).min(tile_rows - 1);
+            let t = (ty * tile_cols + tx) as u32;
+            tile_of_pid.push(t);
+            counts[t as usize] += 1;
+        }
+        let mut tile_starts = Vec::with_capacity(n_tiles + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            tile_starts.push(acc);
+            acc += c;
+        }
+        tile_starts.push(acc);
+        let mut tile_pids = vec![0u32; n];
+        let mut cursor = tile_starts[..n_tiles].to_vec();
+        for (pid, &t) in tile_of_pid.iter().enumerate() {
+            tile_pids[cursor[t as usize] as usize] = pid as u32;
+            cursor[t as usize] += 1;
+        }
+
         CoverageMap {
             field: *field,
             points,
@@ -93,10 +154,17 @@ impl CoverageMap {
             pt_index,
             sensors: Vec::new(),
             sensor_index,
+            rs_hist: BTreeMap::new(),
             max_rs: 0.0,
             k_target: cfg.k,
             cov_hist: vec![n],
-            below_target: (0..n).collect(),
+            tile_cols,
+            tile_rows,
+            tile_edge,
+            tile_of_pid,
+            tile_below: counts,
+            tile_starts,
+            tile_pids,
         }
     }
 
@@ -123,7 +191,16 @@ impl CoverageMap {
     /// Current coverage count `k_p` of point `pid`.
     #[inline]
     pub fn coverage(&self, pid: usize) -> u32 {
-        self.coverage[pid]
+        self.coverage[pid] as u32
+    }
+
+    /// The largest sensing radius among *active* sensors (0.0 when none).
+    /// Tracked through a radius histogram, so it shrinks back when a
+    /// wide-radius sensor deactivates — every `covered_at_least` /
+    /// `for_each_sensor_covering` query scans this radius.
+    #[inline]
+    pub fn max_active_rs(&self) -> f64 {
+        self.max_rs
     }
 
     /// Ids of approximation points within distance `r` of `q`, sorted
@@ -222,24 +299,55 @@ impl CoverageMap {
             active: true,
         });
         self.sensor_index.insert(id, pos);
-        self.max_rs = self.max_rs.max(rs);
+        self.note_rs_activated(rs);
         let coverage = &mut self.coverage;
         let hist = &mut self.cov_hist;
-        let below = &mut self.below_target;
+        let tile_below = &mut self.tile_below;
+        let tile_of_pid = &self.tile_of_pid;
         let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
             let c = coverage[pid] as usize;
+            assert!(
+                c < u8::MAX as usize,
+                "coverage saturation: point {pid} already covered {c} times"
+            );
             hist[c] -= 1;
             if hist.len() <= c + 1 {
                 hist.resize(c + 2, 0);
             }
             hist[c + 1] += 1;
-            coverage[pid] += 1;
-            if coverage[pid] >= kt {
-                below.remove(&pid);
+            coverage[pid] = (c + 1) as u8;
+            if c + 1 == kt as usize {
+                tile_below[tile_of_pid[pid] as usize] -= 1;
             }
         });
         id
+    }
+
+    /// Records an activation of radius `rs` in the radius histogram.
+    fn note_rs_activated(&mut self, rs: f64) {
+        *self.rs_hist.entry(rs.to_bits()).or_insert(0) += 1;
+        if rs > self.max_rs {
+            self.max_rs = rs;
+        }
+    }
+
+    /// Records a deactivation of radius `rs`, shrinking the cached
+    /// maximum when the last sensor of the widest radius went away.
+    fn note_rs_deactivated(&mut self, rs: f64) {
+        let bits = rs.to_bits();
+        let n = self.rs_hist.get_mut(&bits).expect("radius histogram drift");
+        *n -= 1;
+        if *n == 0 {
+            self.rs_hist.remove(&bits);
+            if rs == self.max_rs {
+                self.max_rs = self
+                    .rs_hist
+                    .keys()
+                    .next_back()
+                    .map_or(0.0, |&b| f64::from_bits(b));
+            }
+        }
     }
 
     /// Number of sensors ever added (active and inactive).
@@ -277,18 +385,20 @@ impl CoverageMap {
         let pos = self.sensors[id].pos;
         let rs = self.sensors[id].rs;
         self.sensor_index.remove(id, pos);
+        self.note_rs_deactivated(rs);
         let coverage = &mut self.coverage;
         let hist = &mut self.cov_hist;
-        let below = &mut self.below_target;
+        let tile_below = &mut self.tile_below;
+        let tile_of_pid = &self.tile_of_pid;
         let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
             debug_assert!(coverage[pid] > 0, "coverage underflow");
             let c = coverage[pid] as usize;
             hist[c] -= 1;
             hist[c - 1] += 1;
-            coverage[pid] -= 1;
-            if coverage[pid] < kt {
-                below.insert(pid);
+            coverage[pid] = (c - 1) as u8;
+            if c == kt as usize {
+                tile_below[tile_of_pid[pid] as usize] += 1;
             }
         });
         true
@@ -304,20 +414,26 @@ impl CoverageMap {
         let pos = self.sensors[id].pos;
         let rs = self.sensors[id].rs;
         self.sensor_index.insert(id, pos);
+        self.note_rs_activated(rs);
         let coverage = &mut self.coverage;
         let hist = &mut self.cov_hist;
-        let below = &mut self.below_target;
+        let tile_below = &mut self.tile_below;
+        let tile_of_pid = &self.tile_of_pid;
         let kt = self.k_target;
         self.pt_index.for_each_within(pos, rs, |pid, _| {
             let c = coverage[pid] as usize;
+            assert!(
+                c < u8::MAX as usize,
+                "coverage saturation: point {pid} already covered {c} times"
+            );
             hist[c] -= 1;
             if hist.len() <= c + 1 {
                 hist.resize(c + 2, 0);
             }
             hist[c + 1] += 1;
-            coverage[pid] += 1;
-            if coverage[pid] >= kt {
-                below.remove(&pid);
+            coverage[pid] = (c + 1) as u8;
+            if c + 1 == kt as usize {
+                tile_below[tile_of_pid[pid] as usize] -= 1;
             }
         });
         true
@@ -376,17 +492,153 @@ impl CoverageMap {
             .sum()
     }
 
-    /// Ids of points with coverage below `k`, ascending. O(result) when
-    /// `k` equals the configured [`CoverageMap::k_target`] (the common
-    /// case, answered from the maintained below-target set); O(n) sweep
-    /// otherwise.
+    /// Ids of points with coverage below `k`, ascending. Histogram-guided:
+    /// returns empty in O(k) when nothing is below `k`. For `k` up to the
+    /// configured [`CoverageMap::k_target`] the scan visits only deficient
+    /// tiles (output-sensitive); only `k > k_target` pays a field sweep.
     pub fn uncovered_ids(&self, k: u32) -> Vec<usize> {
-        if k == self.k_target {
-            return self.below_target.iter().copied().collect();
+        if self.count_below(k) == 0 {
+            return Vec::new();
         }
-        (0..self.points.len())
-            .filter(|&i| self.coverage[i] < k)
-            .collect()
+        if k > self.k_target {
+            return (0..self.points.len())
+                .filter(|&i| (self.coverage[i] as u32) < k)
+                .collect();
+        }
+        // below-k ⊆ below-k_target, and every below-k_target point lives
+        // in a tile with tile_below > 0; tile groups hold ascending pids
+        // and tiles are visited in index order, so a final sort restores
+        // the global ascending order across tiles.
+        let mut out = Vec::new();
+        for (t, &below) in self.tile_below.iter().enumerate() {
+            if below == 0 {
+                continue;
+            }
+            let start = self.tile_starts[t] as usize;
+            let end = self.tile_starts[t + 1] as usize;
+            for &pid in &self.tile_pids[start..end] {
+                if (self.coverage[pid as usize] as u32) < k {
+                    out.push(pid as usize);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True when every approximation point inside the disk `(c, r)` has
+    /// coverage at least the configured target. Tile-accelerated: tiles
+    /// whose deficiency count is zero are skipped wholesale, so on a
+    /// healthy field this is O(tiles touched) rather than O(points in
+    /// disk).
+    pub fn disk_fully_covered(&self, c: Point, r: f64) -> bool {
+        if self.count_below(self.k_target) == 0 {
+            return true;
+        }
+        if !self.tiles_deficient_near(c, r) {
+            return true;
+        }
+        let kt = self.k_target;
+        self.pt_index
+            .for_each_within_while(c, r, |pid, _| (self.coverage[pid] as u32) >= kt)
+    }
+
+    /// Does any tile overlapping the disk `(c, r)` contain a
+    /// below-target point?
+    fn tiles_deficient_near(&self, c: Point, r: f64) -> bool {
+        let (tx0, ty0) = self.tile_coords(Point::new(c.x - r, c.y - r));
+        let (tx1, ty1) = self.tile_coords(Point::new(c.x + r, c.y + r));
+        for ty in ty0..=ty1 {
+            let row = ty * self.tile_cols;
+            for tx in tx0..=tx1 {
+                if self.tile_below[row + tx] > 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Clamped tile coordinates of a location (which may lie outside the
+    /// field, e.g. the corner of a query box).
+    fn tile_coords(&self, p: Point) -> (usize, usize) {
+        let tx = (((p.x - self.field.min.x) / self.tile_edge).floor().max(0.0) as usize)
+            .min(self.tile_cols - 1);
+        let ty = (((p.y - self.field.min.y) / self.tile_edge).floor().max(0.0) as usize)
+            .min(self.tile_rows - 1);
+        (tx, ty)
+    }
+
+    /// Total coverage deficit `Σ max(0, k - k_p)` over approximation
+    /// points within `r` of `q` — the integer benefit of placing a
+    /// `k`-requirement sensor there. Streams the CSR slabs in chunk
+    /// ranges; ranges whose bucket box lies entirely inside the disk skip
+    /// the per-point distance test.
+    pub fn deficit_within(&self, q: Point, r: f64, k: u32) -> u64 {
+        let rr = r * r;
+        let coverage = &self.coverage;
+        let mut sum = 0u64;
+        self.pt_index
+            .for_each_slab_range_within(q, r, |xs, ys, ids, all_inside| {
+                if all_inside {
+                    for &pid in ids {
+                        let c = coverage[pid as usize] as u32;
+                        sum += u64::from(k.saturating_sub(c));
+                    }
+                } else {
+                    for i in 0..xs.len() {
+                        let dx = xs[i] - q.x;
+                        let dy = ys[i] - q.y;
+                        let inside = (dx * dx + dy * dy <= rr) as u32;
+                        let c = coverage[ids[i] as usize] as u32;
+                        sum += u64::from(inside * k.saturating_sub(c));
+                    }
+                }
+            });
+        sum
+    }
+
+    /// Ascending ids of every point in a tile that is deficient or within
+    /// `margin` of one: the output-sensitive restoration candidate set.
+    /// Any location whose `rs`-disk (for `rs <= margin`) touches a
+    /// below-target point lies in this set's tiles, so greedy placement
+    /// restricted to these candidates sees every positive-benefit point.
+    /// Returns all ids when every tile is deficient.
+    pub fn deficit_candidates(&self, margin: f64) -> Vec<usize> {
+        let ring = (margin / self.tile_edge).ceil().max(0.0) as usize;
+        let mut wanted = vec![false; self.tile_below.len()];
+        let mut any = false;
+        for (t, &below) in self.tile_below.iter().enumerate() {
+            if below == 0 {
+                continue;
+            }
+            any = true;
+            let tx = t % self.tile_cols;
+            let ty = t / self.tile_cols;
+            let x0 = tx.saturating_sub(ring);
+            let x1 = (tx + ring).min(self.tile_cols - 1);
+            let y0 = ty.saturating_sub(ring);
+            let y1 = (ty + ring).min(self.tile_rows - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    wanted[y * self.tile_cols + x] = true;
+                }
+            }
+        }
+        if !any {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (t, &w) in wanted.iter().enumerate() {
+            if !w {
+                continue;
+            }
+            let start = self.tile_starts[t] as usize;
+            let end = self.tile_starts[t + 1] as usize;
+            out.extend(self.tile_pids[start..end].iter().map(|&pid| pid as usize));
+        }
+        out.sort_unstable();
+        out
     }
 
     /// The minimum coverage over all points. O(min) via the histogram.
@@ -417,7 +669,8 @@ impl CoverageMap {
 
     /// Recomputes every point's coverage from scratch (O(n·deg)) and
     /// asserts it matches the incremental counters, the coverage
-    /// histogram, and the below-target set. Test/debug aid.
+    /// histogram, the per-tile deficiency summaries, and the active-radius
+    /// histogram. Test/debug aid.
     pub fn verify_consistency(&self) {
         for (pid, &p) in self.points.iter().enumerate() {
             let truth = self
@@ -426,7 +679,7 @@ impl CoverageMap {
                 .filter(|s| s.active && p.in_disk(s.pos, s.rs))
                 .count() as u32;
             assert_eq!(
-                truth, self.coverage[pid],
+                truth, self.coverage[pid] as u32,
                 "coverage drift at point {pid} ({p})"
             );
         }
@@ -435,10 +688,23 @@ impl CoverageMap {
             hist[c as usize] += 1;
         }
         assert_eq!(hist, self.cov_hist, "coverage histogram drift");
-        let below: BTreeSet<usize> = (0..self.points.len())
-            .filter(|&i| self.coverage[i] < self.k_target)
-            .collect();
-        assert_eq!(below, self.below_target, "below-target set drift");
+        let mut tile_below = vec![0u32; self.tile_below.len()];
+        for (pid, &t) in self.tile_of_pid.iter().enumerate() {
+            if (self.coverage[pid] as u32) < self.k_target {
+                tile_below[t as usize] += 1;
+            }
+        }
+        assert_eq!(tile_below, self.tile_below, "tile deficiency drift");
+        let mut rs_hist: BTreeMap<u64, u32> = BTreeMap::new();
+        for s in self.sensors.iter().filter(|s| s.active) {
+            *rs_hist.entry(s.rs.to_bits()).or_insert(0) += 1;
+        }
+        assert_eq!(rs_hist, self.rs_hist, "active-radius histogram drift");
+        let true_max = rs_hist
+            .keys()
+            .next_back()
+            .map_or(0.0, |&b| f64::from_bits(b));
+        assert_eq!(true_max, self.max_rs, "max active radius drift");
     }
 }
 
@@ -600,5 +866,134 @@ mod tests {
         assert_eq!(m.sensor_pos(s), Point::new(12.0, 34.0));
         assert_eq!(m.sensor_rs(s), 5.0);
         assert!(m.sensor_active(s));
+    }
+
+    /// Regression: the query radius used to ratchet up forever. In a
+    /// heterogeneous field, one huge-radius sensor dying must shrink
+    /// `max_active_rs` back to the widest *surviving* radius.
+    #[test]
+    fn max_active_rs_shrinks_when_wide_sensor_dies() {
+        let mut m = map();
+        let a = m.add_sensor(Point::new(10.0, 10.0), 4.0);
+        let big = m.add_sensor(Point::new(50.0, 50.0), 60.0);
+        let b = m.add_sensor(Point::new(90.0, 90.0), 7.0);
+        assert_eq!(m.max_active_rs(), 60.0);
+        m.deactivate_sensor(big);
+        assert_eq!(m.max_active_rs(), 7.0);
+        m.verify_consistency();
+        // Coverage queries still honor the surviving radii.
+        assert!(m.covered_at_least(Point::new(90.0, 88.0), 1));
+        assert!(!m.covered_at_least(Point::new(50.0, 50.0), 1));
+        m.reactivate_sensor(big);
+        assert_eq!(m.max_active_rs(), 60.0);
+        m.deactivate_sensor(a);
+        m.deactivate_sensor(big);
+        m.deactivate_sensor(b);
+        assert_eq!(m.max_active_rs(), 0.0);
+        m.verify_consistency();
+    }
+
+    /// Duplicate radii must survive one of their sensors deactivating.
+    #[test]
+    fn max_active_rs_with_duplicate_radii() {
+        let mut m = map();
+        let a = m.add_sensor(Point::new(20.0, 20.0), 9.0);
+        let _b = m.add_sensor(Point::new(80.0, 80.0), 9.0);
+        m.deactivate_sensor(a);
+        assert_eq!(m.max_active_rs(), 9.0);
+        m.verify_consistency();
+    }
+
+    /// The tile-guided `uncovered_ids` path must agree with a naive
+    /// field sweep at every `k`, below and above the target.
+    #[test]
+    fn uncovered_ids_matches_sweep_at_all_k() {
+        let cfg = DeploymentConfig {
+            k: 3,
+            ..DeploymentConfig::default()
+        };
+        let mut m = CoverageMap::new(grid_points(20), &field(), &cfg);
+        m.add_sensor(Point::new(30.0, 30.0), 25.0);
+        m.add_sensor(Point::new(40.0, 35.0), 18.0);
+        m.add_sensor(Point::new(70.0, 60.0), 22.0);
+        m.add_sensor(Point::new(55.0, 45.0), 12.0);
+        for k in 0..=5 {
+            let sweep: Vec<usize> = (0..m.n_points()).filter(|&i| m.coverage(i) < k).collect();
+            assert_eq!(m.uncovered_ids(k), sweep, "k={k}");
+        }
+    }
+
+    /// Histogram early-out: once everything is covered at `k`, the
+    /// answer is empty without touching any tile.
+    #[test]
+    fn uncovered_ids_early_out_when_fully_covered() {
+        let cfg = DeploymentConfig {
+            k: 1,
+            ..DeploymentConfig::default()
+        };
+        let mut m = CoverageMap::new(grid_points(20), &field(), &cfg);
+        m.add_sensor(Point::new(50.0, 50.0), 80.0);
+        assert!(m.uncovered_ids(1).is_empty());
+        assert!(m.disk_fully_covered(Point::new(50.0, 50.0), 10.0));
+    }
+
+    #[test]
+    fn deficit_within_matches_naive_sum() {
+        let mut m = map();
+        m.add_sensor(Point::new(45.0, 45.0), 15.0);
+        m.add_sensor(Point::new(60.0, 50.0), 10.0);
+        for &(q, r, k) in &[
+            (Point::new(50.0, 50.0), 12.0, 2u32),
+            (Point::new(10.0, 10.0), 30.0, 1),
+            (Point::new(50.0, 50.0), 70.0, 3),
+        ] {
+            let naive: u64 = (0..m.n_points())
+                .filter(|&i| m.points()[i].in_disk(q, r))
+                .map(|i| u64::from(k.saturating_sub(m.coverage(i))))
+                .sum();
+            assert_eq!(m.deficit_within(q, r, k), naive, "q={q} r={r} k={k}");
+        }
+    }
+
+    /// The restoration candidate set covers every deficient point plus a
+    /// margin ring, and collapses to empty on a healthy field.
+    #[test]
+    fn deficit_candidates_cover_deficient_points_with_margin() {
+        let cfg = DeploymentConfig {
+            k: 1,
+            ..DeploymentConfig::default()
+        };
+        let mut m = CoverageMap::new(grid_points(20), &field(), &cfg);
+        m.add_sensor(Point::new(50.0, 50.0), 80.0); // cover all
+        assert!(m.deficit_candidates(8.0).is_empty());
+
+        let mut m = CoverageMap::new(grid_points(20), &field(), &cfg);
+        m.add_sensor(Point::new(25.0, 25.0), 30.0);
+        let cands = m.deficit_candidates(8.0);
+        let deficient = m.uncovered_ids(1);
+        // Every deficient point is a candidate, and so is every point
+        // within the margin of one (the greedy-placement superset).
+        for pid in &deficient {
+            assert!(cands.binary_search(pid).is_ok());
+        }
+        for pid in 0..m.n_points() {
+            let p = m.points()[pid];
+            let near_deficient = deficient.iter().any(|&d| m.points()[d].dist(p) <= 8.0);
+            if near_deficient {
+                assert!(cands.binary_search(&pid).is_ok(), "missing candidate {pid}");
+            }
+        }
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+    }
+
+    /// A sensor stack reaching 255 coverers trips the saturation guard.
+    #[test]
+    #[should_panic(expected = "coverage saturation")]
+    fn coverage_saturation_guard_trips() {
+        let pts = vec![Point::new(50.0, 50.0)];
+        let mut m = CoverageMap::new(pts, &field(), &DeploymentConfig::default());
+        for _ in 0..256 {
+            m.add_sensor(Point::new(50.0, 50.0), 5.0);
+        }
     }
 }

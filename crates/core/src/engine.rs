@@ -37,7 +37,7 @@
 
 use crate::benefit::benefit_at;
 use crate::coverage::CoverageMap;
-use decor_geom::{FrozenGridIndex, Point};
+use decor_geom::{query_bucket_edge, FrozenGridIndex, Point};
 
 /// Below this many candidates the initial benefit build stays sequential
 /// (same spirit as the 256-candidate floor in `par_best_candidate`).
@@ -93,7 +93,7 @@ impl ShardedBenefitEngine {
         let tile = (2.0 * rs).max(w.max(h) / 64.0);
         let nx = (w / tile).ceil().max(1.0) as usize;
         let ny = (h / tile).ceil().max(1.0) as usize;
-        let bucket = rs.max(w.min(h) / 64.0);
+        let bucket = query_bucket_edge(rs, w.min(h), cand_pids.len().max(1));
         let origin = field.min;
         let mut slot_pos = Vec::with_capacity(cand_pids.len());
         let mut shard_of_slot = Vec::with_capacity(cand_pids.len());

@@ -252,8 +252,15 @@ impl GridDecor {
     /// equivalence is tested below. The engine path assumes ground-truth
     /// coverage, so `place_impl` never enables it on a lossy medium (where
     /// estimates also depend on the knowledge ledger).
+    ///
+    /// The engine covers only the cells that were deficient at build time
+    /// (`shard_of_cell[ci] == u32::MAX` marks the rest): on the loss-free
+    /// no-chaos path coverage is monotone, so a cell that starts clean can
+    /// never regain a positive truncated benefit — the direct scan would
+    /// answer `None` for it on every round.
     fn cell_best(
         engine: &mut Option<ShardedBenefitEngine>,
+        shard_of_cell: &[u32],
         map: &CoverageMap,
         cells: &Cells,
         ci: usize,
@@ -263,7 +270,10 @@ impl GridDecor {
         match engine.as_mut() {
             Some(e) => {
                 debug_assert!(hidden.is_none(), "engine requires ground-truth coverage");
-                e.best_in_shard(map, ci)
+                match shard_of_cell[ci] {
+                    u32::MAX => None,
+                    si => e.best_in_shard(map, si as usize),
+                }
             }
             None => Self::best_candidate(map, cells, ci, cfg, hidden),
         }
@@ -337,10 +347,43 @@ impl GridDecor {
             }
         }
         let initial = map.n_active_sensors();
-        // One shard per cell: per-cell truncated benefits delta-maintained,
-        // per-cell best cached until a placement lands in the cell.
-        let mut engine: Option<ShardedBenefitEngine> =
-            use_engine.then(|| ShardedBenefitEngine::cells(map, &cells.points, cfg.rs, cfg.k));
+        // One shard per *deficient* cell: per-cell truncated benefits
+        // delta-maintained, per-cell best cached until a placement lands in
+        // the cell. Restoration runs start with most of the field healthy,
+        // so the engine build (the O(points·deg) part) touches only the
+        // damaged cells — `uncovered_ids` walks the coverage map's
+        // deficient tiles rather than sweeping the field.
+        let mut shard_of_cell: Vec<u32> = Vec::new();
+        let mut engine: Option<ShardedBenefitEngine> = None;
+        if use_engine {
+            shard_of_cell = vec![u32::MAX; cells.len()];
+            let mut deficient = vec![false; cells.len()];
+            for pid in map.uncovered_ids(cfg.k) {
+                deficient[cells.cell_of_pid[pid] as usize] = true;
+            }
+            let mut partition: Vec<Vec<usize>> = Vec::new();
+            for ci in 0..cells.len() {
+                if deficient[ci] {
+                    shard_of_cell[ci] = partition.len() as u32;
+                    partition.push(cells.points[ci].clone());
+                }
+            }
+            engine = Some(ShardedBenefitEngine::cells(map, &partition, cfg.rs, cfg.k));
+        }
+        // On the engine path adoption can only land in a shard-bearing
+        // neighbor (clean cells answer `None` forever), so each cell's
+        // adoption scan list shrinks to those, preserving neighbor order.
+        let adopt_targets: Option<Vec<Vec<usize>>> = engine.is_some().then(|| {
+            (0..cells.len())
+                .map(|ci| {
+                    cells
+                        .neighbors(ci)
+                        .into_iter()
+                        .filter(|&nc| shard_of_cell[nc] != u32::MAX)
+                        .collect()
+                })
+                .collect()
+        });
         let mut out = PlacementOutcome {
             initial_sensors: initial,
             ..PlacementOutcome::default()
@@ -396,7 +439,9 @@ impl GridDecor {
                     net.is_alive(leader),
                 );
                 let hidden = knowledge.hidden_from(ci);
-                if let Some((pid, b)) = Self::cell_best(&mut engine, map, &cells, ci, cfg, hidden) {
+                if let Some((pid, b)) =
+                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, ci, cfg, hidden)
+                {
                     if cfg.invariants.is_enabled() {
                         cfg.invariants.check_estimate(
                             pid,
@@ -410,13 +455,23 @@ impl GridDecor {
                 // Own cell covered: adopt one neighboring empty cell with
                 // deficient points, if any (lowest index, not yet claimed
                 // this round). The adopting leader judges the empty cell
-                // with its own cell's knowledge.
-                for &nc in &cells.neighbors(ci) {
+                // with its own cell's knowledge. On the engine path the
+                // scan list was precomputed down to shard-bearing
+                // neighbors; everything else is a guaranteed `None`.
+                let neigh_scratch;
+                let adoption_scan: &[usize] = match &adopt_targets {
+                    Some(t) => &t[ci],
+                    None => {
+                        neigh_scratch = cells.neighbors(ci);
+                        &neigh_scratch
+                    }
+                };
+                for &nc in adoption_scan {
                     if !cells.members[nc].is_empty() || claimed_empty.contains(&nc) {
                         continue;
                     }
                     if let Some((pid, b)) =
-                        Self::cell_best(&mut engine, map, &cells, nc, cfg, hidden)
+                        Self::cell_best(&mut engine, &shard_of_cell, map, &cells, nc, cfg, hidden)
                     {
                         if cfg.invariants.is_enabled() {
                             cfg.invariants.check_estimate(
@@ -467,11 +522,14 @@ impl GridDecor {
                     break;
                 }
                 // Base-station dispatch plans from ground truth (no ledger).
-                let deficient_cell = (0..cells.len())
-                    .find(|&ci| Self::cell_best(&mut engine, map, &cells, ci, cfg, None).is_some());
+                let deficient_cell = (0..cells.len()).find(|&ci| {
+                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, ci, cfg, None)
+                        .is_some()
+                });
                 let Some(target) = deficient_cell else { break };
                 let (pid, b) =
-                    Self::cell_best(&mut engine, map, &cells, target, cfg, None).unwrap();
+                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, target, cfg, None)
+                        .unwrap();
                 let seeder = (0..cells.len())
                     .filter(|&ci| !cells.members[ci].is_empty())
                     .min_by(|&a, &b| {
@@ -837,6 +895,40 @@ mod tests {
             assert_eq!(a.fully_covered, b.fully_covered);
             assert_eq!(a.messages.protocol_total, b.messages.protocol_total);
         }
+    }
+
+    #[test]
+    fn restoration_engine_path_matches_direct_scan_path() {
+        // Restoration shape: a pre-covered field with a damage hole. The
+        // engine path builds shards only over the hole's cells; the
+        // direct path scans everything. Placements must stay identical.
+        let cfg = DeploymentConfig::with_k(2);
+        let field = Aabb::square(100.0);
+        let mut map = CoverageMap::new(halton_points(800, &field), &field, &cfg);
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                ids.push(map.add_sensor(
+                    Point::new(2.5 + 5.0 * i as f64, 2.5 + 5.0 * j as f64),
+                    cfg.rs,
+                ));
+            }
+        }
+        let hole = Point::new(35.0, 65.0);
+        for &id in &ids {
+            if map.sensor_pos(id).dist(hole) <= 15.0 {
+                map.deactivate_sensor(id);
+            }
+        }
+        assert!(map.count_below(cfg.k) > 0);
+        let mut m_direct = map.clone();
+        let placer = GridDecor { cell_size: 5.0 };
+        let a = placer.place_impl(&mut map, &cfg, true, true);
+        let b = placer.place_impl(&mut m_direct, &cfg, false, true);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.rounds, b.rounds);
+        assert!(a.fully_covered);
+        map.verify_consistency();
     }
 
     #[test]

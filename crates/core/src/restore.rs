@@ -44,6 +44,16 @@ pub struct RestorationReport {
 /// conclude; its latency lands in the report. Restoration proceeds for all
 /// victims regardless (undetected isolated victims are eventually noticed
 /// as coverage holes — the paper's uncovered-region estimation).
+///
+/// Restoration is output-sensitive: the deactivations mark the damaged
+/// tiles of the coverage map's summary layer, and every placer works from
+/// that deficient-tile set — the centralized baseline restricts its
+/// candidate pool to the damaged tiles plus an `rs` ring, grid DECOR
+/// builds its engine over the damaged cells only, and the Voronoi scheme's
+/// ownership worklist re-examines (after one initial pass) only the points
+/// each round's placements disturbed. Cost scales with the damaged area,
+/// not the field; placements are identical to the full-field sweeps
+/// (differential tests pin this).
 pub fn fail_and_restore(
     map: &mut CoverageMap,
     placer: &dyn Placer,

@@ -253,9 +253,15 @@ impl VoronoiDecor {
         let rc_sq = rc * rc;
         // Per-point ownership cache: `owners[pid]` is the last computed
         // [`Self::point_owners`] result; an entry goes stale only when a
-        // sensor lands within `rc` of the point.
+        // sensor lands within `rc` of the point. Stale entries sit on the
+        // `dirty` worklist (with `owners_dirty` as the dedup guard) so a
+        // round's recompute cost is proportional to the disturbed area,
+        // not the field; `active` tracks the points with any owner at all,
+        // which is what the decision phase actually iterates.
         let mut owners: Vec<Vec<usize>> = vec![Vec::new(); map.n_points()];
         let mut owners_dirty = vec![true; map.n_points()];
+        let mut dirty: Vec<usize> = (0..map.n_points()).collect();
+        let mut active: BTreeSet<usize> = BTreeSet::new();
         let mut scratch = OwnersScratch::default();
         let mut nbs_buf: Vec<NodeId> = Vec::new();
         let mut rounds = 0usize;
@@ -277,18 +283,29 @@ impl VoronoiDecor {
             // For every point, find the agents that (a) believe it is
             // under-covered and (b) own it under their local view.
             if !use_cache {
+                dirty.clear();
+                dirty.extend(0..map.n_points());
                 owners_dirty.iter_mut().for_each(|d| *d = true);
             }
-            for pid in 0..map.n_points() {
-                if owners_dirty[pid] {
-                    owners[pid] =
-                        Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge, &mut scratch);
-                    owners_dirty[pid] = false;
+            for pid in dirty.drain(..) {
+                if !owners_dirty[pid] {
+                    continue;
+                }
+                owners[pid] =
+                    Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge, &mut scratch);
+                owners_dirty[pid] = false;
+                if owners[pid].is_empty() {
+                    active.remove(&pid);
+                } else {
+                    active.insert(pid);
                 }
             }
+            // `active` iterates in ascending pid order — the same order the
+            // old full sweep pushed pids — so each agent's owned list is
+            // byte-identical to the sweep's.
             let mut owned_deficient: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-            for (pid, sids) in owners.iter().enumerate() {
-                for &sid in sids {
+            for &pid in &active {
+                for &sid in &owners[pid] {
                     owned_deficient.entry(sid).or_default().push(pid);
                 }
             }
@@ -361,7 +378,12 @@ impl VoronoiDecor {
                     .expect("non-empty deficient set");
                 let pos = map.points()[target];
                 let sid = map.add_sensor(pos, cfg.rs);
-                map.for_each_point_within_unordered(pos, rc, |pid, _| owners_dirty[pid] = true);
+                map.for_each_point_within_unordered(pos, rc, |pid, _| {
+                    if !owners_dirty[pid] {
+                        owners_dirty[pid] = true;
+                        dirty.push(pid);
+                    }
+                });
                 let nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(sid, nid);
                 sid_of.insert(nid, sid);
@@ -401,7 +423,12 @@ impl VoronoiDecor {
                 );
                 let pos = map.points()[pid];
                 let new_sid = map.add_sensor(pos, cfg.rs);
-                map.for_each_point_within_unordered(pos, rc, |qid, _| owners_dirty[qid] = true);
+                map.for_each_point_within_unordered(pos, rc, |qid, _| {
+                    if !owners_dirty[qid] {
+                        owners_dirty[qid] = true;
+                        dirty.push(qid);
+                    }
+                });
                 let new_nid = net.add_node(pos, cfg.rs, rc);
                 net_of.insert(new_sid, new_nid);
                 sid_of.insert(new_nid, new_sid);

@@ -56,6 +56,22 @@ impl ExpParams {
         }
     }
 
+    /// The paper's scenario scaled to `n_points` approximation points at
+    /// the paper's point density (0.2 points per unit²): the field side
+    /// grows with `√(n / 2000)`, so each decade of points is a decade of
+    /// monitored area. This is the axis the `pr6_scale` benchmark sweeps
+    /// (2k → 2M points, 100×100 → ~3162×3162).
+    pub fn scaled(n_points: usize) -> Self {
+        let base = Self::paper();
+        assert!(n_points > 0, "a field needs at least one point");
+        let factor = (n_points as f64 / base.n_points as f64).sqrt();
+        ExpParams {
+            field_side: base.field_side * factor,
+            n_points,
+            ..base
+        }
+    }
+
     /// The monitored field.
     pub fn field(&self) -> Aabb {
         Aabb::square(self.field_side)
@@ -163,6 +179,21 @@ mod tests {
         assert_eq!(p.n_points, 2000);
         assert_eq!(p.initial_nodes, 200);
         assert_eq!(p.seeds, 5);
+    }
+
+    #[test]
+    fn scaled_params_keep_paper_density() {
+        let base = ExpParams::paper();
+        let base_density = base.n_points as f64 / (base.field_side * base.field_side);
+        for n in [2_000usize, 20_000, 200_000, 2_000_000] {
+            let p = ExpParams::scaled(n);
+            let density = p.n_points as f64 / (p.field_side * p.field_side);
+            assert!(
+                (density - base_density).abs() < 1e-9,
+                "density drift at n={n}: {density} vs {base_density}"
+            );
+        }
+        assert_eq!(ExpParams::scaled(2000).field_side, 100.0);
     }
 
     #[test]

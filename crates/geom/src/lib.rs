@@ -45,7 +45,7 @@ pub use delaunay::{cell_area_cv, Delaunay};
 pub use disk::Disk;
 pub use frozen_index::FrozenGridIndex;
 pub use graph::UnitDiskGraph;
-pub use grid_index::GridIndex;
+pub use grid_index::{query_bucket_edge, GridIndex};
 pub use paths::{best_support_path, maximal_breach_path, CrossingPath};
 pub use point::Point;
 pub use polygon::{ConvexPolygon, HalfPlane};

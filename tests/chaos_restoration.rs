@@ -166,6 +166,44 @@ fn shrinking_isolates_the_decisive_fault() {
     }
 }
 
+/// Chaos at 100× the seed field area (ROADMAP item 1): a 300×300 field,
+/// lattice-covered, with a deterministic fault plan crashing sensors
+/// spread across the field. The run must stay invariant-green, restore
+/// full coverage, and leave the hierarchical coverage core consistent.
+#[test]
+fn grid_survives_chaos_on_large_field() {
+    use decor::geom::Point;
+    let field = Aabb::square(300.0);
+    let mut cfg = DeploymentConfig::with_k(1);
+    cfg.invariants = InvariantChecker::enabled();
+    cfg.chaos = Some(
+        FaultPlan::parse(
+            "0 crash 12\n\
+             3 crash 700\n\
+             5 latency 4\n\
+             8 crash 1803\n\
+             11 crash 2222\n\
+             14 crash 3599\n",
+        )
+        .unwrap(),
+    );
+    let mut map = CoverageMap::new(halton_points(15_000, &field), &field, &cfg);
+    for i in 0..60 {
+        for j in 0..60 {
+            map.add_sensor(
+                Point::new(2.5 + 5.0 * i as f64, 2.5 + 5.0 * j as f64),
+                cfg.rs,
+            );
+        }
+    }
+    assert_eq!(map.count_below(1), 0, "the lattice must cover the field");
+    let placer = GridDecor { cell_size: 10.0 };
+    let out = placer.place(&mut map, &cfg);
+    assert!(out.fully_covered, "restoration must converge under chaos");
+    cfg.invariants.assert_green();
+    map.verify_consistency();
+}
+
 /// Every crash scheduled while its victim is still alive must appear in
 /// the checker's dead-set — the bookkeeping the election and placement
 /// invariants hang off.

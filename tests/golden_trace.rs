@@ -16,7 +16,7 @@
 #![cfg(feature = "trace")]
 
 use decor::core::{CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer, VoronoiDecor};
-use decor::geom::Aabb;
+use decor::geom::{Aabb, Point};
 use decor::lds::{halton_points, random_points};
 use decor::trace::{first_divergence, TraceHandle};
 use std::path::PathBuf;
@@ -99,6 +99,41 @@ fn voronoi_3x3_zero_loss_matches_golden() {
 fn voronoi_3x3_20pct_loss_matches_golden() {
     let trace = run_scenario(&VoronoiDecor { rc: 8.0 }, Some(0.2));
     assert_matches_fixture("voronoi_3x3_loss20.jsonl", &trace);
+}
+
+/// Restoration at 100× the seed field area: a 300×300 field (15k points,
+/// seed density) pre-covered by a sensor lattice, with an area failure
+/// punched at the center. Only the damaged area acts, so the fixture
+/// stays small even though the field is two orders of magnitude bigger —
+/// the behavior the hierarchical coverage core must not change.
+#[test]
+fn voronoi_large_field_restoration_matches_golden() {
+    let side = 300.0;
+    let field = Aabb::square(side);
+    let mut cfg = DeploymentConfig::with_k(1);
+    cfg.trace = TraceHandle::jsonl_writer();
+    let mut map = CoverageMap::new(halton_points(15_000, &field), &field, &cfg);
+    let hole = Point::new(150.0, 150.0);
+    let mut victims = Vec::new();
+    for i in 0..60 {
+        for j in 0..60 {
+            let p = Point::new(2.5 + 5.0 * i as f64, 2.5 + 5.0 * j as f64);
+            let id = map.add_sensor(p, cfg.rs);
+            if p.dist(hole) <= 15.0 {
+                victims.push(id);
+            }
+        }
+    }
+    assert_eq!(map.count_below(1), 0, "the lattice must cover the field");
+    for id in victims {
+        map.deactivate_sensor(id);
+    }
+    assert!(map.count_below(1) > 0, "the hole must uncover points");
+    let out = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
+    assert!(out.fully_covered, "restoration must converge");
+    map.verify_consistency();
+    let trace = cfg.trace.jsonl().expect("JSONL sink attached");
+    assert_matches_fixture("voronoi_large_restore.jsonl", &trace);
 }
 
 #[test]

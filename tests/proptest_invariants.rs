@@ -127,6 +127,41 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The hierarchical coverage core (u8 slabs, tile deficiency
+    /// summaries, active-radius histogram) stays consistent through mixed
+    /// add / deactivate / reactivate traffic on a 10⁵-point field — the
+    /// scale the tile layer exists for. Also pins the tile-guided
+    /// `uncovered_ids` to the ground-truth sweep at several requirements.
+    #[test]
+    fn large_field_coverage_core_survives_mixed_ops(
+        sensors in prop::collection::vec((arb_point(), 2.0..30.0f64), 10..40),
+        kills in prop::collection::vec(any::<prop::sample::Index>(), 0..15),
+        revives in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let field = Aabb::square(100.0);
+        let cfg = DeploymentConfig { k: 2, ..DeploymentConfig::default() };
+        let mut map = CoverageMap::new(halton_points(100_000, &field), &field, &cfg);
+        for &(p, rs) in &sensors {
+            map.add_sensor(p, rs);
+        }
+        for idx in &kills {
+            map.deactivate_sensor(idx.index(sensors.len()));
+        }
+        for idx in &revives {
+            map.reactivate_sensor(idx.index(sensors.len()));
+        }
+        map.verify_consistency();
+        for k in [1u32, 2, 3] {
+            let sweep: Vec<usize> =
+                (0..map.n_points()).filter(|&i| map.coverage(i) < k).collect();
+            prop_assert_eq!(map.uncovered_ids(k), sweep, "k={}", k);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// For any sub-rectangle, the fraction of Halton points inside tracks
