@@ -155,7 +155,8 @@ impl DeploymentConfig {
     }
 }
 
-/// The six algorithm configurations evaluated in the paper's figures.
+/// The six algorithm configurations evaluated in the paper's figures,
+/// plus this reproduction's exact-geometry extension.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum SchemeKind {
     /// Grid-based DECOR, 5×5 cells ("small cell").
@@ -170,6 +171,10 @@ pub enum SchemeKind {
     Centralized,
     /// Random placement baseline.
     Random,
+    /// Exact hole detection + deepest-witness healing (not in the paper;
+    /// see [`crate::hole_scheme`]). Excluded from [`SchemeKind::ALL`] so
+    /// the paper figures keep their six-curve legends.
+    Holes,
 }
 
 impl SchemeKind {
@@ -192,12 +197,19 @@ impl SchemeKind {
             SchemeKind::VoronoiBig => "Voronoi (big rc)",
             SchemeKind::Centralized => "Centralized",
             SchemeKind::Random => "Random",
+            SchemeKind::Holes => "Holes (exact)",
         }
     }
 
     /// True for the four distributed DECOR variants.
     pub fn is_decor(&self) -> bool {
-        !matches!(self, SchemeKind::Centralized | SchemeKind::Random)
+        matches!(
+            self,
+            SchemeKind::GridSmall
+                | SchemeKind::GridBig
+                | SchemeKind::VoronoiSmall
+                | SchemeKind::VoronoiBig
+        )
     }
 }
 
@@ -305,9 +317,19 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::BTreeSet<&str> =
+        let mut labels: std::collections::BTreeSet<&str> =
             SchemeKind::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 6);
+        assert!(labels.insert(SchemeKind::Holes.label()));
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn all_keeps_the_paper_legend() {
+        // The exact-geometry extension must not sneak into the paper's
+        // six-curve figures.
+        assert_eq!(SchemeKind::ALL.len(), 6);
+        assert!(!SchemeKind::ALL.contains(&SchemeKind::Holes));
     }
 
     #[test]
@@ -316,5 +338,6 @@ mod tests {
         assert!(SchemeKind::VoronoiBig.is_decor());
         assert!(!SchemeKind::Centralized.is_decor());
         assert!(!SchemeKind::Random.is_decor());
+        assert!(!SchemeKind::Holes.is_decor());
     }
 }

@@ -33,6 +33,7 @@ pub mod coverage;
 pub mod diagnostics;
 pub mod engine;
 pub mod grid_scheme;
+pub mod hole_scheme;
 pub mod invariants;
 pub mod knowledge;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub use coverage::{CoverageMap, SensorId};
 pub use diagnostics::DeploymentDiagnostics;
 pub use engine::ShardedBenefitEngine;
 pub use grid_scheme::GridDecor;
+pub use hole_scheme::HoleHealing;
 pub use invariants::InvariantChecker;
 pub use knowledge::NeighborKnowledge;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};

@@ -62,7 +62,7 @@ impl CliArgs {
 }
 
 /// Parses a scheme name (`centralized`, `random`, `grid-small`,
-/// `grid-big`, `voronoi-small`, `voronoi-big`).
+/// `grid-big`, `voronoi-small`, `voronoi-big`, `holes`).
 pub fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
     match name {
         "centralized" => Ok(SchemeKind::Centralized),
@@ -71,8 +71,9 @@ pub fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
         "grid-big" => Ok(SchemeKind::GridBig),
         "voronoi-small" => Ok(SchemeKind::VoronoiSmall),
         "voronoi-big" => Ok(SchemeKind::VoronoiBig),
+        "holes" => Ok(SchemeKind::Holes),
         other => Err(format!(
-            "unknown scheme '{other}' (centralized | random | grid-small | grid-big | voronoi-small | voronoi-big)"
+            "unknown scheme '{other}' (centralized | random | grid-small | grid-big | voronoi-small | voronoi-big | holes)"
         )),
     }
 }
@@ -250,6 +251,7 @@ mod tests {
             ("grid-big", SchemeKind::GridBig),
             ("voronoi-small", SchemeKind::VoronoiSmall),
             ("voronoi-big", SchemeKind::VoronoiBig),
+            ("holes", SchemeKind::Holes),
         ] {
             assert_eq!(parse_scheme(name).unwrap(), kind);
         }

@@ -2,7 +2,7 @@
 //! to build fields, initial deployments and algorithm instances.
 
 use decor_core::{
-    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer,
+    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, HoleHealing, LinkConfig, Placer,
     RandomPlacement, SchemeKind, VoronoiDecor,
 };
 use decor_geom::Aabb;
@@ -111,6 +111,7 @@ impl ExpParams {
             }),
             SchemeKind::Centralized => Box::new(CentralizedGreedy),
             SchemeKind::Random => Box::new(RandomPlacement { seed }),
+            SchemeKind::Holes => Box::new(HoleHealing),
         }
     }
 }

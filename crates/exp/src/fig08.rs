@@ -85,4 +85,42 @@ mod tests {
             assert!(r1 > r0, "column {c} must grow with k");
         }
     }
+
+    /// The exact-geometry hole healer on the same Fig. 8 scenario: it is
+    /// not one of the paper's six curves, but it must clear the same bar
+    /// (full k-coverage at every k, every seed) and stay competitive —
+    /// well under the random baseline, in the same band as the DECOR
+    /// schemes.
+    #[test]
+    fn holes_scheme_covers_the_fig08_scenario() {
+        let params = ExpParams::quick();
+        let mut prev = 0.0;
+        for k in [1u32, 2] {
+            let count = |scheme: SchemeKind| {
+                mean(&run_replicas(params.seeds, params.base_seed, |_, seed| {
+                    let (map, out, cfg) = deploy(&params, scheme, k, seed);
+                    assert!(
+                        out.fully_covered,
+                        "{} failed to cover at k={k}",
+                        scheme.label()
+                    );
+                    assert_eq!(map.count_below(cfg.k), 0, "{}", scheme.label());
+                    out.total_sensors() as f64
+                }))
+            };
+            let holes = count(SchemeKind::Holes);
+            let central = count(SchemeKind::Centralized);
+            let random = count(SchemeKind::Random);
+            assert!(
+                holes < random,
+                "k={k}: holes ({holes}) must beat random ({random})"
+            );
+            assert!(
+                holes <= 2.0 * central,
+                "k={k}: holes ({holes}) must stay near centralized ({central})"
+            );
+            assert!(holes > prev, "node demand must grow with k");
+            prev = holes;
+        }
+    }
 }

@@ -69,6 +69,7 @@ pub fn run_extensions(params: &ExpParams) -> Vec<Table> {
     vec![
         ext_lifetime::run(params),
         ablation_approx::run(params),
+        ablation_approx::run_budget(params),
         ext_hammersley::run(params),
         ext_delivery::run(params),
         ext_heterogeneous::run(params),

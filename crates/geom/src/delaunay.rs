@@ -45,6 +45,11 @@ pub struct Delaunay {
 
 /// Is point `p` strictly inside the circumcircle of CCW triangle
 /// `(a, b, c)`? Standard 3×3 determinant test.
+///
+/// The determinant scales with coordinate⁴, so the near-cocircular
+/// tolerance is normalized by the squared magnitudes of the lifted
+/// vertices — the same triangle at 1×, 100×, or 10000× coordinate scale
+/// gets the same verdict.
 fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let ax = a.x - p.x;
     let ay = a.y - p.y;
@@ -52,9 +57,12 @@ fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let by = b.y - p.y;
     let cx = c.x - p.x;
     let cy = c.y - p.y;
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
-        + (cx * cx + cy * cy) * (ax * by - bx * ay);
-    det > 1e-9
+    let la = ax * ax + ay * ay;
+    let lb = bx * bx + by * by;
+    let lc = cx * cx + cy * cy;
+    let det = la * (bx * cy - cx * by) - lb * (ax * cy - cx * ay) + lc * (ax * by - bx * ay);
+    let scale = la.max(lb).max(lc);
+    det > 1e-12 * scale * scale
 }
 
 /// Signed twice-area of triangle `(a, b, c)`; positive when CCW.
@@ -86,7 +94,16 @@ impl Delaunay {
             lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
             hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
         }
-        let span = (hi.x - lo.x).max(hi.y - lo.y).max(1.0);
+        // The floor only guards all-coincident inputs; it must not be an
+        // absolute constant or the super-triangle's relative size (and
+        // with it hull-adjacent combinatorics) would depend on the
+        // coordinate scale.
+        let raw_span = (hi.x - lo.x).max(hi.y - lo.y);
+        let span = if raw_span > 0.0 {
+            raw_span
+        } else {
+            hi.x.abs().max(hi.y.abs()).max(1.0)
+        };
         let mid = lo.midpoint(hi);
         let s0 = Point::new(mid.x - 20.0 * span, mid.y - 10.0 * span);
         let s1 = Point::new(mid.x + 20.0 * span, mid.y - 10.0 * span);
@@ -143,8 +160,12 @@ impl Delaunay {
                 if orient(verts[t[0]], verts[t[1]], verts[t[2]]) < 0.0 {
                     t.swap(0, 1);
                 }
-                // Skip exactly-degenerate slivers.
-                if orient(verts[t[0]], verts[t[1]], verts[t[2]]).abs() > 1e-12 {
+                // Skip exactly-degenerate slivers. `orient` scales with
+                // coordinate², so normalize by the adjacent edge lengths:
+                // the filter rejects on sin(angle), not on absolute area.
+                let (va, vb, vc) = (verts[t[0]], verts[t[1]], verts[t[2]]);
+                let scale = ((vb - va).norm_sq() * (vc - va).norm_sq()).sqrt();
+                if orient(va, vb, vc).abs() > 1e-12 * scale {
                     tris.push(t);
                 }
             }
@@ -241,9 +262,10 @@ impl Delaunay {
 /// even responsibility regions. Duplicated points share a cell and are
 /// counted once; returns 0 for fewer than 2 distinct points.
 pub fn cell_area_cv(points: &[Point], field: &Aabb) -> f64 {
+    let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
     let mut distinct: Vec<Point> = Vec::new();
     for &p in points {
-        if !distinct.contains(&p) {
+        if seen.insert((p.x.to_bits(), p.y.to_bits())) {
             distinct.push(p);
         }
     }
@@ -439,6 +461,26 @@ mod tests {
                 "nearest neighbor {nn} of {i} missing"
             );
         }
+    }
+
+    #[test]
+    fn triangulation_combinatorics_scale_invariant() {
+        // The same scatter triangulated at 1x/100x/10000x coordinate
+        // scale must produce the identical edge set: the circumcircle
+        // and sliver predicates are normalized, so scaling every
+        // coordinate cannot flip a combinatorial decision.
+        let base = scatter(60);
+        let edges_at = |s: f64| {
+            let pts: Vec<Point> = base.iter().map(|p| Point::new(p.x * s, p.y * s)).collect();
+            let d = Delaunay::build(&pts);
+            assert!(!d.is_degenerate(), "scatter degenerate at scale {s}");
+            d.edges()
+        };
+        let e1 = edges_at(1.0);
+        assert!(!e1.is_empty());
+        assert_eq!(e1, edges_at(100.0), "edge set drifted at 100x scale");
+        assert_eq!(e1, edges_at(10_000.0), "edge set drifted at 10000x scale");
+        assert_eq!(e1, edges_at(1e-4), "edge set drifted at micro scale");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod disk;
 pub mod frozen_index;
 pub mod graph;
 pub mod grid_index;
+pub mod holes;
 pub mod paths;
 pub mod point;
 pub mod polygon;
@@ -46,6 +47,7 @@ pub use disk::Disk;
 pub use frozen_index::FrozenGridIndex;
 pub use graph::UnitDiskGraph;
 pub use grid_index::{query_bucket_edge, GridIndex};
+pub use holes::{detect_holes, disk_polygon_overlap, Hole, HoleReport};
 pub use paths::{best_support_path, maximal_breach_path, CrossingPath};
 pub use point::Point;
 pub use polygon::{ConvexPolygon, HalfPlane};

@@ -156,19 +156,37 @@ impl ConvexPolygon {
     }
 
     /// Inclusive point-in-polygon test (convexity assumed).
+    ///
+    /// The cross product scales with edge length × distance, so the
+    /// boundary tolerance is normalized by both: a point within
+    /// `1e-9 × extent` of the supporting line counts as inside, at any
+    /// coordinate scale. This is deliberately at least as inclusive as
+    /// [`ConvexPolygon::clip`]'s strict `<= 0` keep rule, so every vertex
+    /// that survives a clip is reported contained.
     pub fn contains(&self, p: Point) -> bool {
         let n = self.vertices.len();
         if n < 3 {
             return false;
         }
+        let ext = self.extent();
         for i in 0..n {
             let a = self.vertices[i];
             let b = self.vertices[(i + 1) % n];
-            if (b - a).cross(p - a) < -1e-9 {
+            let e = b - a;
+            if e.cross(p - a) < -1e-9 * e.norm() * ext {
                 return false;
             }
         }
         true
+    }
+
+    /// Characteristic length of the polygon (bounding-box L∞ extent),
+    /// used to scale boundary tolerances. Zero for empty polygons.
+    fn extent(&self) -> f64 {
+        let Some(bb) = self.bounding_box() else {
+            return 0.0;
+        };
+        bb.width().max(bb.height())
     }
 
     /// Clips the polygon by a half-plane (Sutherland–Hodgman step).
@@ -228,17 +246,32 @@ impl ConvexPolygon {
 }
 
 /// Removes consecutive near-duplicate vertices introduced by clipping.
+///
+/// "Near" is relative to the chain's own extent (two vertices closer
+/// than `1e-9 ×` the bounding-box span collapse), so micro-field cells
+/// dedup as reliably as kilometer-scale ones and genuinely distinct
+/// corners of large cells are never silently deleted.
 fn dedup_close(v: &mut Vec<Point>) {
     if v.len() < 2 {
         return;
     }
+    let mut lo = v[0];
+    let mut hi = v[0];
+    for &p in v.iter() {
+        lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+        hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+    }
+    let ext = (hi.x - lo.x).max(hi.y - lo.y);
+    // For an all-coincident chain (ext == 0) any positive tolerance
+    // collapses it to one vertex, which is what we want.
+    let tol_sq = (1e-9 * ext).powi(2).max(f64::MIN_POSITIVE);
     let mut out: Vec<Point> = Vec::with_capacity(v.len());
     for &p in v.iter() {
-        if out.last().is_none_or(|&q| q.dist_sq(p) > 1e-18) {
+        if out.last().is_none_or(|&q| q.dist_sq(p) > tol_sq) {
             out.push(p);
         }
     }
-    while out.len() >= 2 && out.first().unwrap().dist_sq(*out.last().unwrap()) <= 1e-18 {
+    while out.len() >= 2 && out.first().unwrap().dist_sq(*out.last().unwrap()) <= tol_sq {
         out.pop();
     }
     *v = out;
@@ -359,6 +392,78 @@ mod tests {
         assert!(!e.contains(Point::ORIGIN));
         assert!(e.bounding_box().is_none());
         assert_eq!(e.vertices().len(), 0);
+    }
+
+    #[test]
+    fn clip_output_vertices_are_contained() {
+        // Reconciliation with `clip`: every vertex kept or created by a
+        // clip must be reported contained, at any coordinate scale.
+        for scale in [1.0, 100.0, 10_000.0, 1e-4] {
+            let me = Point::new(0.3 * scale, 0.4 * scale);
+            let mut poly = ConvexPolygon::from_aabb(&Aabb::square(scale));
+            for i in 0..10 {
+                let ang = i as f64 * std::f64::consts::TAU / 10.0 + 0.3;
+                let other = Point::new(
+                    scale * (0.5 + 0.45 * ang.cos()),
+                    scale * (0.5 + 0.45 * ang.sin()),
+                );
+                poly = poly.clip(&HalfPlane::bisector(me, other));
+                for &v in poly.vertices() {
+                    assert!(
+                        poly.contains(v),
+                        "clip vertex {v} not contained at scale {scale}"
+                    );
+                }
+            }
+            assert!(!poly.is_empty());
+            assert!(poly.contains(me));
+        }
+    }
+
+    #[test]
+    fn contains_tolerance_is_scale_invariant() {
+        for scale in [1.0, 100.0, 10_000.0, 1e-4] {
+            let sq = ConvexPolygon::from_aabb(&Aabb::square(scale));
+            // A relative 1e-12 excursion past the boundary is tolerated...
+            assert!(
+                sq.contains(Point::new(scale * (1.0 + 1e-12), 0.5 * scale)),
+                "boundary point rejected at scale {scale}"
+            );
+            // ...a relative 1e-3 excursion is not.
+            assert!(
+                !sq.contains(Point::new(scale * 1.001, 0.5 * scale)),
+                "outside point accepted at scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_threshold_tracks_polygon_scale() {
+        // Graze a corner at a relative 1e-6 offset: on a micro square the
+        // two clip points are genuinely distinct corners and must survive.
+        let micro = ConvexPolygon::from_aabb(&Aabb::square(1e-6));
+        let graze = |off: f64| HalfPlane {
+            normal: Point::new(-1.0, -1.0),
+            offset: -off, // keeps x + y >= off
+        };
+        let clipped = micro.clip(&graze(1e-12));
+        assert_eq!(
+            clipped.vertices().len(),
+            5,
+            "micro-field corner cut lost vertices: {:?}",
+            clipped.vertices()
+        );
+        // The same relative grazing cut on a kilometer-scale square
+        // produces clip points within float noise of the corner; they
+        // must collapse instead of surviving as phantom slivers.
+        let big = ConvexPolygon::from_aabb(&Aabb::square(1e6));
+        let clipped = big.clip(&graze(1e-8));
+        assert_eq!(
+            clipped.vertices().len(),
+            4,
+            "large-field noise vertices survived: {:?}",
+            clipped.vertices()
+        );
     }
 
     #[test]

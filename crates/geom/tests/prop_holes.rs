@@ -1,0 +1,175 @@
+//! Differential tests for the exact hole detector.
+//!
+//! The oracle is brute force: a dense sample grid where a sample is
+//! uncovered iff its nearest sensor is farther than `rs`. The exact
+//! detector must agree with the oracle in both directions (membership
+//! of uncovered samples, uncoveredness of every hole's witness) and in
+//! aggregate (total area, within the sampling resolution), and it must
+//! stay *output-sensitive*: detecting a small wound on a huge almost-
+//! fully-covered field only ever touches the sensors near the wound.
+
+use decor_geom::{detect_holes, Aabb, FrozenGridIndex, Point};
+use proptest::prelude::*;
+
+fn nearest(sensors: &[Point], q: Point) -> Option<(usize, f64)> {
+    sensors
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.dist(q)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact holes vs. the dense-sampling oracle.
+    #[test]
+    fn holes_agree_with_dense_sampling_oracle(
+        sensors in prop::collection::vec(
+            (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            1..50,
+        ),
+        rs in 4.0..22.0f64,
+    ) {
+        let field = Aabb::square(100.0);
+        let report = detect_holes(&sensors, rs, &field);
+
+        // Every hole's farthest witness is genuinely uncovered (the
+        // witness is a point of the hole, brute-force checked), and its
+        // depth is exactly the witness' nearest-sensor gap.
+        for h in report.holes() {
+            let (_, gap) = nearest(&sensors, h.deepest).unwrap();
+            prop_assert!(gap > rs, "witness {:?} covered: {gap} <= {rs}", h.deepest);
+            prop_assert!((gap - h.depth).abs() < 1e-6);
+            prop_assert!(h.area > 0.0);
+            prop_assert!(!h.cells.is_empty());
+        }
+
+        // No uncovered sample lies outside all reported holes (modulo a
+        // one-spacing boundary margin), and the sampled uncovered area
+        // agrees with the exact total within the sampling resolution.
+        let grid = 140usize;
+        let dx = field.width() / grid as f64;
+        let margin = dx; // samples this close to a disk edge may be sliver-filtered
+        let mut sampled = 0.0;
+        for gy in 0..grid {
+            for gx in 0..grid {
+                let q = Point::new((gx as f64 + 0.5) * dx, (gy as f64 + 0.5) * dx);
+                let (ni, gap) = nearest(&sensors, q).unwrap();
+                if gap <= rs {
+                    continue;
+                }
+                sampled += dx * dx;
+                if gap > rs + margin {
+                    prop_assert!(
+                        report.hole_of_cell(ni).is_some(),
+                        "uncovered sample {q:?} (gap {gap}) outside all holes"
+                    );
+                }
+            }
+        }
+        // Misclassification is confined to a half-spacing band around
+        // the region boundary (disk perimeters + field perimeter).
+        let tol = (sensors.len() as f64 * std::f64::consts::TAU * rs + 400.0) * dx;
+        prop_assert!(
+            (report.total_area() - sampled).abs() <= tol,
+            "exact {} vs sampled {sampled} (tol {tol})",
+            report.total_area()
+        );
+    }
+}
+
+/// `pr6_scale`-style output-sensitivity: a field sized for 10⁵
+/// approximation points at paper density (side ≈ 707), almost fully
+/// covered by a ~20k-sensor lattice with one wound punched out.
+/// Regional detection gathers candidate sensors through the frozen
+/// index and must (a) touch only a wound-sized sensor subset and
+/// (b) still find the wound exactly.
+#[test]
+fn detection_is_output_sensitive_on_large_field() {
+    let side = (100.0f64 * 100.0 * (100_000.0 / 2000.0)).sqrt(); // ≈ 707
+    let field = Aabb::square(side);
+    let (spacing, rs) = (5.0, 4.0);
+    let per_row = (side / spacing).ceil() as usize;
+    let wound_center = Point::new(side * 0.37, side * 0.58);
+    let wound_r = 14.0;
+    let mut sensors: Vec<Point> = Vec::new();
+    for i in 0..per_row {
+        for j in 0..per_row {
+            let p = Point::new((i as f64 + 0.5) * spacing, (j as f64 + 0.5) * spacing);
+            if field.contains(p) && !p.in_disk(wound_center, wound_r) {
+                sensors.push(p);
+            }
+        }
+    }
+    assert!(
+        sensors.len() > 15_000,
+        "lattice too small: {}",
+        sensors.len()
+    );
+
+    // Regional detection: inflate the wound's bounding box far enough
+    // that the included lattice ring fully covers the ROI rim, then
+    // gather candidates through the frozen index only.
+    let idx = FrozenGridIndex::from_points(
+        field.min,
+        (field.width(), field.height()),
+        spacing,
+        sensors.iter().copied().enumerate(),
+    );
+    let roi = Aabb::new(
+        Point::new(wound_center.x - wound_r, wound_center.y - wound_r),
+        Point::new(wound_center.x + wound_r, wound_center.y + wound_r),
+    )
+    .inflate(2.0 * spacing + rs)
+    .intersection(&field)
+    .unwrap();
+    // Every sensor whose disk reaches into the ROI lies within the
+    // ROI's circumradius plus rs of its center; one spacing of slack.
+    let gather_r = roi.width().hypot(roi.height()) * 0.5 + rs + spacing;
+    let mut local: Vec<Point> = Vec::new();
+    idx.for_each_within(roi.center(), gather_r, |_, p| {
+        local.push(p);
+    });
+
+    // (a) Output sensitivity: the exact work is bounded by the wound
+    // size, not the field size.
+    assert!(
+        local.len() < 400,
+        "regional detection touched {} of {} sensors",
+        local.len(),
+        sensors.len()
+    );
+
+    // (b) Exactness on the region: one hole, centered on the wound,
+    // with the area the lattice-minus-wound really leaves uncovered.
+    let report = detect_holes(&local, rs, &roi);
+    assert_eq!(report.holes().len(), 1, "expected exactly the wound hole");
+    let h = &report.holes()[0];
+    assert!(
+        h.centroid.dist(wound_center) < spacing,
+        "wound centroid drifted: {:?}",
+        h.centroid
+    );
+    // Oracle: dense sampling of the ROI against the *local* sensor set
+    // (identical coverage inside the ROI by construction).
+    let grid = 400usize;
+    let (dx, dy) = (roi.width() / grid as f64, roi.height() / grid as f64);
+    let mut sampled = 0.0;
+    for gy in 0..grid {
+        for gx in 0..grid {
+            let q = Point::new(
+                roi.min.x + (gx as f64 + 0.5) * dx,
+                roi.min.y + (gy as f64 + 0.5) * dy,
+            );
+            if !local.iter().any(|s| q.in_disk(*s, rs)) {
+                sampled += dx * dy;
+            }
+        }
+    }
+    assert!(
+        (report.total_area() - sampled).abs() < 0.05 * sampled.max(1.0),
+        "exact {} vs sampled {sampled}",
+        report.total_area()
+    );
+}

@@ -13,8 +13,8 @@
 //! for the workflow.
 
 use decor::core::{
-    CoverageMap, DeploymentConfig, GridDecor, InvariantChecker, PlacementOutcome, Placer,
-    VoronoiDecor,
+    CoverageMap, DeploymentConfig, GridDecor, HoleHealing, InvariantChecker, PlacementOutcome,
+    Placer, VoronoiDecor,
 };
 use decor::geom::Aabb;
 use decor::lds::{halton_points, random_points};
@@ -120,6 +120,11 @@ proptest! {
     #[test]
     fn voronoi_survives_random_fault_plans(seed in any::<u64>()) {
         check_scheme(&VoronoiDecor { rc: 8.0 }, "voronoi-small", seed);
+    }
+
+    #[test]
+    fn holes_survives_random_fault_plans(seed in any::<u64>()) {
+        check_scheme(&HoleHealing, "holes", seed);
     }
 }
 

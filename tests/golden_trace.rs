@@ -15,9 +15,13 @@
 //! ```
 #![cfg(feature = "trace")]
 
-use decor::core::{CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer, VoronoiDecor};
+use decor::core::{
+    CoverageMap, DeploymentConfig, GridDecor, HoleHealing, InvariantChecker, LinkConfig, Placer,
+    VoronoiDecor,
+};
 use decor::geom::{Aabb, Point};
 use decor::lds::{halton_points, random_points};
+use decor::net::FaultPlan;
 use decor::trace::{first_divergence, TraceHandle};
 use std::path::PathBuf;
 
@@ -101,6 +105,40 @@ fn voronoi_3x3_20pct_loss_matches_golden() {
     assert_matches_fixture("voronoi_3x3_loss20.jsonl", &trace);
 }
 
+#[test]
+fn holes_3x3_zero_loss_matches_golden() {
+    let trace = run_scenario(&HoleHealing, None);
+    assert_matches_fixture("holes_3x3_loss0.jsonl", &trace);
+}
+
+/// The hole healer under a scripted chaos plan on a 20%-loss link, with
+/// the invariant checker attached: two of the four initial sensors crash
+/// mid-restoration and the healer must route around its own repairs,
+/// bit-reproducibly. (The healer itself is message-free — the lossy link
+/// exercises the accounting mirror, not a protocol.)
+#[test]
+fn holes_chaos_20pct_loss_matches_golden() {
+    let field = Aabb::square(FIELD_SIDE);
+    let mut cfg = DeploymentConfig::with_k(1);
+    cfg.link = LinkConfig::lossy(0.2, 23);
+    cfg.chaos = Some(FaultPlan::parse("0 crash 1\n3 crash 3\n5 latency 2\n").unwrap());
+    cfg.invariants = InvariantChecker::enabled();
+    cfg.trace = TraceHandle::jsonl_writer();
+    let mut map = CoverageMap::new(halton_points(N_POINTS, &field), &field, &cfg);
+    for p in random_points(INITIAL_SENSORS, &field, SEED) {
+        map.add_sensor(p, cfg.rs);
+    }
+    let out = HoleHealing.place(&mut map, &cfg);
+    assert!(out.fully_covered, "healer must out-place the fault plan");
+    assert!(
+        cfg.invariants.violations().is_empty(),
+        "invariants: {:?}",
+        cfg.invariants.violations()
+    );
+    let trace = cfg.trace.jsonl().expect("JSONL sink attached");
+    assert_matches_fixture("holes_chaos_loss20.jsonl", &trace);
+}
+
 /// Restoration at 100× the seed field area: a 300×300 field (15k points,
 /// seed density) pre-covered by a sensor lattice, with an area failure
 /// punched at the center. Only the damaged area acts, so the fixture
@@ -153,6 +191,12 @@ fn traced_runs_replay_with_zero_divergence() {
         assert!(
             first_divergence(&a, &b).is_none(),
             "voronoi replay diverged (loss={loss:?})"
+        );
+        let a = run_scenario(&HoleHealing, loss);
+        let b = run_scenario(&HoleHealing, loss);
+        assert!(
+            first_divergence(&a, &b).is_none(),
+            "holes replay diverged (loss={loss:?})"
         );
     }
 }

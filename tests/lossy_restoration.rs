@@ -6,7 +6,8 @@
 
 use decor::core::restore::fail_and_restore;
 use decor::core::{
-    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, LinkConfig, Placer, VoronoiDecor,
+    CentralizedGreedy, CoverageMap, DeploymentConfig, GridDecor, HoleHealing, LinkConfig, Placer,
+    VoronoiDecor,
 };
 use decor::geom::Aabb;
 use decor::lds::{halton_points, random_points};
@@ -78,6 +79,36 @@ fn heartbeat_false_positives_do_not_corrupt_restoration_counts() {
         "false positives must not be deactivated: {report:?}"
     );
     assert_eq!(report.coverage_after_restore, 1.0);
+}
+
+#[test]
+fn hole_healer_restores_through_the_pipeline_without_protocol_traffic() {
+    // The exact-geometry healer rides the same failure-and-restoration
+    // pipeline: heartbeat detection runs over the 20%-loss link, but the
+    // healer itself is centralized and must restore full coverage with
+    // zero protocol messages — loss cannot slow it down or change what
+    // it places.
+    let (mut map, mut cfg) = covered_map(1, 600, 60, 31);
+    cfg.link = LinkConfig::lossy(0.2, 41);
+    let plan = FailurePlan::Fraction {
+        frac: 0.2,
+        seed: 61,
+    };
+    let hb = HeartbeatConfig {
+        period: 100,
+        timeout_periods: 3,
+        seed: 67,
+    };
+    let report = fail_and_restore(&mut map, &HoleHealing, &cfg, &plan, Some(hb));
+    assert!(report.victims > 0);
+    assert!(report.coverage_after_failure < 1.0);
+    assert_eq!(report.coverage_after_restore, 1.0, "{report:?}");
+    assert_eq!(map.count_below(1), 0);
+    assert_eq!(
+        report.outcome.messages.protocol_total, 0,
+        "the healer is message-free: {:?}",
+        report.outcome.messages
+    );
 }
 
 #[test]
