@@ -201,6 +201,42 @@ impl SchemeKind {
         }
     }
 
+    /// The stable machine-readable name used by CLI flags and scenario
+    /// spec files. Unlike [`SchemeKind::label`] (the paper's legend text)
+    /// these names are part of the on-disk format and must never change.
+    pub fn spec_name(&self) -> &'static str {
+        match self {
+            SchemeKind::GridSmall => "grid-small",
+            SchemeKind::GridBig => "grid-big",
+            SchemeKind::VoronoiSmall => "voronoi-small",
+            SchemeKind::VoronoiBig => "voronoi-big",
+            SchemeKind::Centralized => "centralized",
+            SchemeKind::Random => "random",
+            SchemeKind::Holes => "holes",
+        }
+    }
+
+    /// Parses a [`SchemeKind::spec_name`]. The error names the valid set,
+    /// so a malformed spec file fails with a diagnosis, not a panic.
+    pub fn parse_spec_name(name: &str) -> Result<SchemeKind, String> {
+        const ALL_NAMED: [SchemeKind; 7] = [
+            SchemeKind::GridSmall,
+            SchemeKind::GridBig,
+            SchemeKind::VoronoiSmall,
+            SchemeKind::VoronoiBig,
+            SchemeKind::Centralized,
+            SchemeKind::Random,
+            SchemeKind::Holes,
+        ];
+        ALL_NAMED
+            .into_iter()
+            .find(|s| s.spec_name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = ALL_NAMED.iter().map(|s| s.spec_name()).collect();
+                format!("unknown scheme '{name}' ({})", valid.join(" | "))
+            })
+    }
+
     /// True for the four distributed DECOR variants.
     pub fn is_decor(&self) -> bool {
         matches!(
@@ -330,6 +366,20 @@ mod tests {
         // six-curve figures.
         assert_eq!(SchemeKind::ALL.len(), 6);
         assert!(!SchemeKind::ALL.contains(&SchemeKind::Holes));
+    }
+
+    #[test]
+    fn spec_names_roundtrip_and_reject_unknowns() {
+        for s in SchemeKind::ALL.into_iter().chain([SchemeKind::Holes]) {
+            assert_eq!(SchemeKind::parse_spec_name(s.spec_name()), Ok(s));
+        }
+        let err = SchemeKind::parse_spec_name("quantum").unwrap_err();
+        assert!(err.contains("unknown scheme 'quantum'"), "{err}");
+        assert!(err.contains("grid-small"), "error must name the valid set");
+        assert!(
+            SchemeKind::parse_spec_name("Centralized").is_err(),
+            "labels are not spec names"
+        );
     }
 
     #[test]

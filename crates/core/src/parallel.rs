@@ -23,20 +23,44 @@ pub fn replica_seed(base: u64, i: usize) -> u64 {
     splitmix64(base ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
 }
 
+/// Parses a `DECOR_THREADS`-style override: a positive integer, with
+/// surrounding whitespace tolerated. Anything else (empty, `0`, garbage)
+/// is rejected so a typo falls back to the hardware default instead of
+/// silently serializing the run.
+pub fn parse_thread_override(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The worker count [`run_replicas`] (and the experiment matrix runner)
+/// uses: the `DECOR_THREADS` environment override when set to a positive
+/// integer, else the hardware parallelism. Bench boxes and CI runners pin
+/// worker counts with the env var; because every parallel helper in this
+/// crate is deterministic in its inputs, the setting can only change wall
+/// time, never results.
+pub fn default_threads() -> usize {
+    std::env::var("DECOR_THREADS")
+        .ok()
+        .and_then(|v| parse_thread_override(&v))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Runs `f(replica_index, replica_seed)` for `n` replicas in parallel and
 /// returns the results in replica order.
 ///
 /// `f` must be deterministic in its arguments; the output is then
-/// identical to the sequential loop regardless of thread scheduling.
+/// identical to the sequential loop regardless of thread scheduling. The
+/// worker count is the hardware parallelism unless `DECOR_THREADS`
+/// overrides it (see [`default_threads`]).
 pub fn run_replicas<T, F>(n: usize, base_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    run_replicas_with_threads(n, base_seed, threads, f)
+    run_replicas_with_threads(n, base_seed, default_threads(), f)
 }
 
 /// [`run_replicas`] with an explicit worker count instead of the hardware
@@ -163,6 +187,38 @@ mod tests {
             })
             .collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 16 "), Some(16));
+        assert_eq!(parse_thread_override("0"), None, "zero workers is absurd");
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("four"), None);
+        assert_eq!(parse_thread_override("-2"), None);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn decor_threads_env_pins_workers_without_changing_results() {
+        // Results are a pure function of (n, base_seed), so every
+        // DECOR_THREADS setting must reproduce the reference exactly.
+        // (Other tests in this binary may race reads of the var; that is
+        // harmless for the same reason.)
+        let reference: Vec<_> = (0..20).map(|i| (i, replica_seed(5, i))).collect();
+        for setting in ["1", "2", "7", "64"] {
+            std::env::set_var("DECOR_THREADS", setting);
+            assert_eq!(
+                default_threads(),
+                setting.parse::<usize>().unwrap(),
+                "override must be honored"
+            );
+            let got = run_replicas(20, 5, |i, seed| (i, seed));
+            assert_eq!(got, reference, "DECOR_THREADS={setting}");
+        }
+        std::env::remove_var("DECOR_THREADS");
+        assert_eq!(run_replicas(20, 5, |i, seed| (i, seed)), reference);
     }
 
     #[test]

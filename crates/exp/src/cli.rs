@@ -62,20 +62,11 @@ impl CliArgs {
 }
 
 /// Parses a scheme name (`centralized`, `random`, `grid-small`,
-/// `grid-big`, `voronoi-small`, `voronoi-big`, `holes`).
+/// `grid-big`, `voronoi-small`, `voronoi-big`, `holes`). The names are
+/// the stable [`SchemeKind::spec_name`] vocabulary shared with scenario
+/// spec files.
 pub fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
-    match name {
-        "centralized" => Ok(SchemeKind::Centralized),
-        "random" => Ok(SchemeKind::Random),
-        "grid-small" => Ok(SchemeKind::GridSmall),
-        "grid-big" => Ok(SchemeKind::GridBig),
-        "voronoi-small" => Ok(SchemeKind::VoronoiSmall),
-        "voronoi-big" => Ok(SchemeKind::VoronoiBig),
-        "holes" => Ok(SchemeKind::Holes),
-        other => Err(format!(
-            "unknown scheme '{other}' (centralized | random | grid-small | grid-big | voronoi-small | voronoi-big | holes)"
-        )),
-    }
+    SchemeKind::parse_spec_name(name)
 }
 
 /// Parses a disaster spec `x,y,r` into a disk.

@@ -129,8 +129,27 @@ pub fn deploy(
     decor_core::PlacementOutcome,
     DeploymentConfig,
 ) {
+    deploy_with(params, scheme, k, seed, |_| {})
+}
+
+/// [`deploy`] with a hook that customizes the [`DeploymentConfig`] before
+/// the map is built — the single code path every caller (figure modules,
+/// the scenario matrix runner, the traced variant) funnels through, which
+/// is what makes the differential tier's bit-identity claims meaningful.
+pub fn deploy_with(
+    params: &ExpParams,
+    scheme: SchemeKind,
+    k: u32,
+    seed: u64,
+    customize: impl FnOnce(&mut DeploymentConfig),
+) -> (
+    decor_core::CoverageMap,
+    decor_core::PlacementOutcome,
+    DeploymentConfig,
+) {
     let mut cfg = DeploymentConfig::with_k(k);
     cfg.link = params.link(seed);
+    customize(&mut cfg);
     let mut map = params.make_map(&cfg, params.initial_nodes, seed);
     let placer = params.placer(scheme, seed ^ 0x9E37);
     let outcome = placer.place(&mut map, &cfg);
@@ -151,12 +170,9 @@ pub fn deploy_traced(
     DeploymentConfig,
     String,
 ) {
-    let mut cfg = DeploymentConfig::with_k(k);
-    cfg.link = params.link(seed);
-    cfg.trace = decor_trace::TraceHandle::jsonl_writer();
-    let mut map = params.make_map(&cfg, params.initial_nodes, seed);
-    let placer = params.placer(scheme, seed ^ 0x9E37);
-    let outcome = placer.place(&mut map, &cfg);
+    let (map, outcome, cfg) = deploy_with(params, scheme, k, seed, |cfg| {
+        cfg.trace = decor_trace::TraceHandle::jsonl_writer();
+    });
     let text = cfg.trace.jsonl().expect("JSONL sink attached above");
     (map, outcome, cfg, text)
 }

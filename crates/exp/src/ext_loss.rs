@@ -22,18 +22,37 @@
 //! while the retry traffic grows with the loss rate — the cost curve of
 //! reliability.
 
-use crate::common::{deploy, ExpParams};
-use crate::stats::mean;
+use crate::common::ExpParams;
+use crate::runner::{aggregate, MatrixRunner};
+use crate::scenario::{ScenarioMatrix, ScenarioSpec, Workload, PROBE_PERIOD};
 use crate::table::Table;
-use decor_core::parallel::run_replicas;
-use decor_core::{LinkConfig, Placer, SchemeKind, VoronoiDecor};
-use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network};
+use decor_core::SchemeKind;
 
 /// Loss rates swept (percent).
 pub const LOSS_PCTS: [u32; 5] = [0, 10, 20, 30, 40];
 
 /// Heartbeat period used (ticks).
-pub const PERIOD: u64 = 1_000;
+pub const PERIOD: u64 = PROBE_PERIOD;
+
+/// The sweep as a scenario matrix: one failure-probe cell per loss rate,
+/// restoring with the small-rc Voronoi scheme over the lossy medium. The
+/// probe execution lives in [`crate::scenario::execute_run`];
+/// `tests/matrix_differential.rs` pins it against the legacy inline loop.
+pub fn matrix(params: &ExpParams) -> ScenarioMatrix {
+    let cells = LOSS_PCTS
+        .iter()
+        .map(|&loss| {
+            let mut spec = ScenarioSpec::from_params(params, SchemeKind::VoronoiSmall, 2);
+            spec.name = format!("ext-loss-{loss}");
+            spec.workload = Workload::FailureProbe;
+            spec.loss_pct = loss;
+            spec.fail_frac = 0.1;
+            spec.base_seed = params.base_seed ^ 0x1055;
+            spec
+        })
+        .collect();
+    ScenarioMatrix::new(cells).expect("ext_loss matrix is valid")
+}
 
 /// Runs the experiment. Columns: loss %, detection rate %, false alarms,
 /// worst latency in periods, restored coverage %, transport retries spent
@@ -52,63 +71,18 @@ pub fn run(params: &ExpParams) -> Table {
             "restore_gave_up".into(),
         ],
     );
-    for &loss in &LOSS_PCTS {
-        let results = run_replicas(params.seeds, params.base_seed ^ 0x1055, |_, seed| {
-            let (mut map, _, mut cfg) = deploy(params, SchemeKind::Centralized, 2, seed);
-            let sensors = map.active_sensors();
-            let mut net = Network::new(*map.field());
-            for &(_, pos) in &sensors {
-                net.add_node(pos, cfg.rs, cfg.rc);
-            }
-            net.set_loss(loss as f64 / 100.0, seed ^ 0xF0);
-            let victims = FailurePlan::Fraction {
-                frac: 0.1,
-                seed: seed ^ 0x0F,
-            }
-            .victims(&net);
-            let sim = HeartbeatSim::new(HeartbeatConfig {
-                period: PERIOD,
-                timeout_periods: 3,
-                seed: seed ^ 0xBEA7,
-            });
-            let fail_at = 4 * PERIOD;
-            let report = sim.run(&mut net, &victims, fail_at, fail_at + 30 * PERIOD);
-            let rate = if victims.is_empty() {
-                1.0
-            } else {
-                report.first_detection.len() as f64 / victims.len() as f64
-            };
-            let latency = report
-                .max_latency(fail_at)
-                .map(|l| l as f64 / PERIOD as f64)
-                .unwrap_or(0.0);
-            // Restoration over the same lossy medium: kill the real
-            // victims in the map, then let the distributed placer recover
-            // k-coverage with transport-backed notices.
-            for &v in &victims {
-                map.deactivate_sensor(sensors[v].0);
-            }
-            if loss > 0 {
-                cfg.link = LinkConfig::lossy(loss as f64 / 100.0, seed ^ 0x7A);
-            }
-            let restore = VoronoiDecor { rc: 8.0 }.place(&mut map, &cfg);
-            (
-                rate * 100.0,
-                report.false_positives.len() as f64,
-                latency,
-                map.fraction_k_covered(cfg.k) * 100.0,
-                restore.messages.retries as f64,
-                restore.messages.notices_gave_up as f64,
-            )
-        });
+    let m = matrix(params);
+    let summaries = aggregate(&m, &MatrixRunner::auto().run(&m));
+    for (s, &loss) in summaries.iter().zip(&LOSS_PCTS) {
+        let probe = |v: Option<f64>| v.expect("probe cells always carry detection stats");
         t.push_row(vec![
             loss as f64,
-            mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.3).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.4).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.5).collect::<Vec<_>>()),
+            probe(s.mean_detection_rate_pct),
+            probe(s.mean_false_alarms),
+            probe(s.mean_worst_latency_periods),
+            s.mean_coverage_pct,
+            s.mean_retries,
+            s.mean_gave_up,
         ]);
     }
     t

@@ -5,37 +5,45 @@
 //! All series grow roughly linearly in k (each unit of k needs another
 //! layer of disk coverage).
 
-use crate::common::{deploy, ExpParams};
-use crate::stats::mean;
+use crate::common::ExpParams;
+use crate::runner::{aggregate, MatrixRunner};
+use crate::scenario::{ScenarioMatrix, ScenarioSpec};
 use crate::table::Table;
-use decor_core::parallel::run_replicas;
 use decor_core::SchemeKind;
 
 /// The k values swept (paper: 1..=5).
 pub const KS: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// The figure as a scenario matrix: one cell per (k, scheme), each k
+/// sweeping the same field population (`base_seed ^ k << 8`, the mixing
+/// this module has always used). `tests/matrix_differential.rs` pins the
+/// matrix path against the raw sequential loop.
+pub fn matrix(params: &ExpParams) -> ScenarioMatrix {
+    let mut cells = Vec::new();
+    for &k in &KS {
+        for &scheme in &SchemeKind::ALL {
+            let mut spec = ScenarioSpec::from_params(params, scheme, k);
+            spec.name = format!("fig08-{}-k{k}", scheme.spec_name());
+            spec.base_seed = params.base_seed ^ (k as u64) << 8;
+            cells.push(spec);
+        }
+    }
+    ScenarioMatrix::new(cells).expect("fig08 matrix is valid")
+}
 
 /// Runs the experiment. Columns: k, then total nodes per scheme.
 pub fn run(params: &ExpParams) -> Table {
     let mut columns = vec!["k".to_owned()];
     columns.extend(SchemeKind::ALL.iter().map(|s| s.label().to_owned()));
     let mut t = Table::new("fig08", "Nodes needed for 100% k-coverage vs k", columns);
-    for &k in &KS {
+    let m = matrix(params);
+    let summaries = aggregate(&m, &MatrixRunner::auto().run(&m));
+    for (ki, &k) in KS.iter().enumerate() {
         let mut row = vec![k as f64];
-        for &scheme in &SchemeKind::ALL {
-            let totals = run_replicas(
-                params.seeds,
-                params.base_seed ^ (k as u64) << 8,
-                |_, seed| {
-                    let (_, out, _) = deploy(params, scheme, k, seed);
-                    assert!(
-                        out.fully_covered,
-                        "{} failed to cover at k={k}",
-                        out.placed.len()
-                    );
-                    out.total_sensors() as f64
-                },
-            );
-            row.push(mean(&totals));
+        for (si, _) in SchemeKind::ALL.iter().enumerate() {
+            let s = &summaries[ki * SchemeKind::ALL.len() + si];
+            assert!(s.all_fully_covered, "{} failed to cover at k={k}", s.name);
+            row.push(s.mean_total_sensors);
         }
         t.push_row(row);
     }
@@ -45,6 +53,9 @@ pub fn run(params: &ExpParams) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::deploy;
+    use crate::stats::mean;
+    use decor_core::parallel::run_replicas;
 
     /// A scaled-down sweep: k in {1, 2} under quick params to keep test
     /// time sane; asserts the orderings the paper reports.

@@ -1,0 +1,464 @@
+//! A minimal JSON value model for the scenario-spec wire format.
+//!
+//! The build image has no `serde_json` (the vendored `serde` is a marker
+//! shim), so the spec/result plumbing serializes through this hand-rolled
+//! layer instead — the same approach `decor-trace` takes for its canonical
+//! JSONL, but bidirectional: [`Json::parse`] accepts arbitrary standard
+//! JSON (escapes, nested containers, whitespace) and [`Json::render`]
+//! produces a canonical single-line form whose numbers round-trip exactly
+//! (`u64` kept integral, `f64` via Rust's shortest-roundtrip display).
+//!
+//! Parse errors carry the byte offset and a description — malformed input
+//! is always an `Err`, never a panic.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+///
+/// Unsigned integers get their own variant so 64-bit seeds survive the
+/// round trip (an `f64` mantissa only holds 53 bits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    UInt(u64),
+    /// Any other finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved by [`Json::render`].
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("byte {pos}: trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// Canonical single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(v) => {
+                assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+                let start = out.len();
+                let _ = write!(out, "{v}");
+                // Keep the variant stable across a render/parse cycle:
+                // `1250.0` must not come back as `UInt(1250)`.
+                if !out[start..].contains(['.', 'e', 'E', '-']) {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, accepting an integral `Num` below 2^53.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < 9.0e15 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (either numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a `Json::Num`, asserting finiteness at construction so the
+/// failure names the offending field instead of surfacing at render time.
+pub fn num(v: f64, what: &str) -> Json {
+    assert!(v.is_finite(), "{what} must be finite, got {v}");
+    Json::Num(v)
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(format!("byte {}: unexpected end of input", *pos));
+    };
+    match b {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b't' | b'f' | b'n' => parse_keyword(bytes, pos),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!(
+            "byte {}: unexpected character {:?}",
+            *pos, other as char
+        )),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("byte {}: expected {:?}", *pos, c as char))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("byte {}: expected ',' or '}}' in object", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("byte {}: expected ',' or ']' in array", *pos)),
+        }
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    for (word, value) in [
+        ("true", Json::Bool(true)),
+        ("false", Json::Bool(false)),
+        ("null", Json::Null),
+    ] {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            return Ok(value);
+        }
+    }
+    Err(format!("byte {}: unknown keyword", *pos))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    let integral = !text.contains(['.', 'e', 'E']) && !text.starts_with('-');
+    if integral {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::UInt(n));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+        _ => Err(format!("byte {start}: bad number {text:?}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("byte {}: expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(format!("byte {}: unterminated string", *pos));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(format!("byte {}: unterminated escape", *pos));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, pos)?;
+                        // Combine surrogate pairs; lone surrogates error.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(code)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => {
+                                return Err(format!("byte {}: invalid \\u escape", *pos));
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(format!("byte {}: unknown escape \\{}", *pos, other as char));
+                    }
+                }
+            }
+            // Multi-byte UTF-8: copy the whole character through.
+            b if b >= 0x80 => {
+                let rest = std::str::from_utf8(&bytes[*pos - 1..])
+                    .map_err(|_| format!("byte {}: invalid UTF-8", *pos - 1))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8() - 1;
+            }
+            b => out.push(b as char),
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let Some(hex) = bytes.get(*pos..*pos + 4) else {
+        return Err(format!("byte {}: truncated \\u escape", *pos));
+    };
+    let text = std::str::from_utf8(hex).map_err(|_| format!("byte {}: bad \\u escape", *pos))?;
+    let code =
+        u32::from_str_radix(text, 16).map_err(|_| format!("byte {}: bad \\u escape", *pos))?;
+    *pos += 4;
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "42", "-3.5", "1.25e3"] {
+            let v = Json::parse(text).unwrap();
+            let rendered = v.render();
+            assert_eq!(Json::parse(&rendered).unwrap(), v, "{text}");
+        }
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-2").unwrap(), Json::Num(-2.0));
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let seed = 0xDEAD_BEEF_CAFE_F00Du64; // > 2^53: f64 would corrupt it
+        let v = Json::UInt(seed);
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back.as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn f64_shortest_display_roundtrips() {
+        for v in [0.1, 1.0 / 3.0, 99.999999999, f64::MIN_POSITIVE] {
+            let back = Json::parse(&num(v, "x").render()).unwrap();
+            assert_eq!(back.as_f64(), Some(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let nasty = "line1\nline2\t\"quoted\" \\slash\\ héllo \u{1}";
+        let v = Json::Str(nasty.to_owned());
+        let rendered = v.render();
+        assert!(!rendered.contains('\n'), "rendering is single-line");
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+        // Standard escapes from foreign producers parse too.
+        assert_eq!(
+            Json::parse(r#""a\u0041\/b""#).unwrap(),
+            Json::Str("aA/b".into())
+        );
+        // Surrogate pair.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip_and_preserve_order() {
+        let text = r#" { "b" : [1, 2, {"x": null}], "a" : "y" } "#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.render(), r#"{"b":[1,2,{"x":null}],"a":"y"}"#);
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("y"));
+        assert_eq!(
+            v.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_input_errors_with_position() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "{} trailing",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "1e999",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.contains("byte"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_numbers_are_rejected_at_construction() {
+        num(f64::NAN, "coverage");
+    }
+}

@@ -35,11 +35,18 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13_14;
+pub mod jsonio;
+pub mod runner;
+pub mod scenario;
 pub mod stats;
 pub mod svg;
 pub mod table;
 
 pub use common::ExpParams;
+pub use runner::{
+    aggregate, CellSummary, CheckpointJournal, MatrixOutcome, MatrixRunner, RunnerHooks,
+};
+pub use scenario::{execute_run, RunResult, RunSpec, ScenarioMatrix, ScenarioSpec, Workload};
 pub use table::Table;
 
 /// Runs every figure at the given parameters, returning the tables in

@@ -8,7 +8,11 @@
 #   - BENCH_PR6.json / pr6_scale — the hierarchical-core area-failure
 #     restoration at the smallest sweep size (PR6_MAX_POINTS=2000 keeps
 #     the guard run seconds-fast; the larger sizes are perf-tracked via
-#     the committed sweep, not gated per-push).
+#     the committed sweep, not gated per-push);
+#   - BENCH_PR8.json / pr8_throughput — the scenario-matrix runner's
+#     64-run batch (PR8_RUNS=200 shrinks the ungated saturation phase;
+#     the full 10k-run saturation check runs when the bench is invoked
+#     without the cap).
 #
 # The committed baselines were measured on the reference machine, so the
 # 5% default is meant for local runs per EXPERIMENTS.md; CI sets a
@@ -57,3 +61,4 @@ guard() {
 
 guard BENCH_PR4.json pr4_spatial "pr4/centralized_greedy_k2_2000pts/sharded_engine"
 PR6_MAX_POINTS=2000 guard BENCH_PR6.json pr6_scale "pr6/restore_area_r24/n2000"
+PR8_RUNS=200 guard BENCH_PR8.json pr8_throughput "pr8/matrix/serve_batch_64"

@@ -1,0 +1,153 @@
+//! Snapshot/restore: a matrix checkpointed mid-flight and resumed in a
+//! "fresh process" must produce the exact result set — traces included —
+//! of an uninterrupted run.
+//!
+//! The journal is built the way `decor-serve` builds it: a header line
+//! pinning the matrix fingerprint, then one `RunResult` JSON line
+//! appended from the runner's `on_result` hook as each run completes.
+//! The "process death" is `stop_after`; the "fresh process" is a new
+//! runner fed only the journal text read back from disk.
+
+use decor::core::SchemeKind;
+use decor::exp::common::ExpParams;
+use decor::exp::runner::{CheckpointJournal, MatrixRunner, RunnerHooks};
+use decor::exp::scenario::{RunResult, ScenarioMatrix, ScenarioSpec, Workload};
+use std::sync::Mutex;
+
+/// A small mixed matrix: traced deploys and an untraced failure probe,
+/// so the journal has to round-trip both result shapes.
+fn checkpoint_matrix() -> ScenarioMatrix {
+    let params = ExpParams::quick();
+    let mut deploy = ScenarioSpec::from_params(&params, SchemeKind::GridSmall, 1);
+    deploy.name = "ckpt-deploy".into();
+    deploy.replicas = 3;
+    deploy.trace = true;
+    let mut probe = ScenarioSpec::from_params(&params, SchemeKind::VoronoiSmall, 2);
+    probe.name = "ckpt-probe".into();
+    probe.workload = Workload::FailureProbe;
+    probe.loss_pct = 20;
+    probe.replicas = 2;
+    ScenarioMatrix::new(vec![deploy, probe]).unwrap()
+}
+
+#[test]
+fn mid_flight_checkpoint_resumes_bit_identically() {
+    let m = checkpoint_matrix();
+    let reference = MatrixRunner::new(2).run(&m);
+    assert!(reference.complete());
+
+    // Phase 1: run with a journal hook, die after 2 runs.
+    let journal = Mutex::new(format!("{}\n", CheckpointJournal::header(&m)));
+    let append = |r: &RunResult| {
+        let mut j = journal.lock().unwrap();
+        j.push_str(&r.to_json());
+        j.push('\n');
+    };
+    let partial = MatrixRunner::new(2).run_with(
+        &m,
+        RunnerHooks {
+            on_result: Some(&append),
+            stop_after: Some(2),
+            ..RunnerHooks::default()
+        },
+    );
+    assert_eq!(partial.executed, 2);
+    assert!(!partial.complete(), "the process died mid-flight");
+
+    // The journal crosses a process boundary: write it out, read it back.
+    let path = std::env::temp_dir().join("decor_matrix_checkpoint_test.journal");
+    std::fs::write(&path, journal.into_inner().unwrap()).unwrap();
+    let restored_text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Phase 2: a fresh runner restores the journal and finishes.
+    let skip = CheckpointJournal::load(&restored_text, &m).unwrap();
+    assert_eq!(skip.len(), 2, "both journaled runs restore");
+    let resumed = MatrixRunner::new(2).run_with(
+        &m,
+        RunnerHooks {
+            skip,
+            ..RunnerHooks::default()
+        },
+    );
+    assert_eq!(resumed.skipped, 2);
+    assert_eq!(resumed.executed, m.n_runs() - 2);
+    assert!(resumed.complete());
+
+    // Bit-identical to the uninterrupted run — including the traces,
+    // which ride inside the fingerprint lines.
+    assert_eq!(
+        resumed.fingerprint_lines(),
+        reference.fingerprint_lines(),
+        "resumed matrix must equal the uninterrupted run"
+    );
+    let traced: Vec<&RunResult> = resumed.results[..3]
+        .iter()
+        .map(|r| r.as_ref().unwrap())
+        .collect();
+    for (i, r) in traced.iter().enumerate() {
+        let want = reference.results[i].as_ref().unwrap();
+        assert_eq!(r.trace, want.trace, "trace of replica {i} must survive");
+        assert!(r.trace.as_ref().is_some_and(|t| !t.is_empty()));
+    }
+}
+
+#[test]
+fn a_journal_holding_every_run_executes_nothing() {
+    let m = checkpoint_matrix();
+    let mut journal = format!("{}\n", CheckpointJournal::header(&m));
+    let full = MatrixRunner::new(1).run(&m);
+    for r in full.results.iter().flatten() {
+        journal.push_str(&r.to_json());
+        journal.push('\n');
+    }
+    let skip = CheckpointJournal::load(&journal, &m).unwrap();
+    let resumed = MatrixRunner::new(4).run_with(
+        &m,
+        RunnerHooks {
+            skip,
+            ..RunnerHooks::default()
+        },
+    );
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.skipped, m.n_runs());
+    assert!(resumed.complete());
+    assert_eq!(resumed.fingerprint_lines(), full.fingerprint_lines());
+}
+
+#[test]
+fn a_crash_truncated_journal_still_resumes_correctly() {
+    let m = checkpoint_matrix();
+    let full = MatrixRunner::new(1).run(&m);
+    let lines: Vec<String> = full.results.iter().flatten().map(|r| r.to_json()).collect();
+    // Two intact lines, then a write cut off by the crash.
+    let journal = format!(
+        "{}\n{}\n{}\n{}",
+        CheckpointJournal::header(&m),
+        lines[0],
+        lines[1],
+        &lines[2][..lines[2].len() / 3]
+    );
+    let skip = CheckpointJournal::load(&journal, &m).unwrap();
+    assert_eq!(skip.len(), 2, "the torn line is dropped, not fatal");
+    let resumed = MatrixRunner::new(2).run_with(
+        &m,
+        RunnerHooks {
+            skip,
+            ..RunnerHooks::default()
+        },
+    );
+    assert!(resumed.complete());
+    assert_eq!(resumed.fingerprint_lines(), full.fingerprint_lines());
+}
+
+#[test]
+fn resuming_against_an_edited_matrix_is_refused() {
+    let m = checkpoint_matrix();
+    let journal = format!("{}\n", CheckpointJournal::header(&m));
+    let mut cells = m.cells().to_vec();
+    cells[0].k = 2; // someone edited the spec file between runs
+    let edited = ScenarioMatrix::new(cells).unwrap();
+    let err = CheckpointJournal::load(&journal, &edited).unwrap_err();
+    assert!(err.contains("fingerprint mismatch"), "{err}");
+}

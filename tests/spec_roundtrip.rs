@@ -1,0 +1,237 @@
+//! Scenario-spec wire-format guarantees: serde stability, golden
+//! fixtures, forward compatibility, and graceful failure.
+//!
+//! The spec JSONL format is the interface `decor-serve` exposes to the
+//! outside world (spec files live in repos, queues, and cron jobs), so
+//! it gets the golden-fixture treatment traces get: the committed
+//! fixtures under `tests/fixtures/specs/` pin the exact canonical
+//! rendering of the fig08 / ext_loss matrices, and any drift fails until
+//! regenerated deliberately:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test spec_roundtrip
+//! ```
+
+use decor::core::SchemeKind;
+use decor::exp::common::ExpParams;
+use decor::exp::scenario::{ScenarioMatrix, ScenarioSpec, Workload};
+use decor::exp::{ext_loss, fig08};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/specs")
+        .join(name)
+}
+
+fn assert_matches_fixture(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test spec_roundtrip` to (re)create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "{name}: spec wire format drifted from the committed fixture. If this \
+         is an intentional format change, regenerate with UPDATE_GOLDEN=1 and \
+         call out the compatibility impact in the commit."
+    );
+}
+
+#[test]
+fn golden_fig08_matrix_is_wire_stable() {
+    let m = fig08::matrix(&ExpParams::paper());
+    assert_matches_fixture("fig08_paper.jsonl", &m.to_jsonl());
+}
+
+#[test]
+fn golden_ext_loss_matrix_is_wire_stable() {
+    let m = ext_loss::matrix(&ExpParams::paper());
+    assert_matches_fixture("ext_loss_paper.jsonl", &m.to_jsonl());
+}
+
+#[test]
+fn golden_fixtures_reparse_to_the_canonical_form() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // fixtures may not exist yet during regeneration
+    }
+    for name in ["fig08_paper.jsonl", "ext_loss_paper.jsonl"] {
+        let text = std::fs::read_to_string(fixture_path(name)).unwrap();
+        let m = ScenarioMatrix::from_jsonl(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(m.to_jsonl(), text, "{name}: parse→render must be identity");
+        assert!(m.n_runs() > 0);
+    }
+}
+
+#[test]
+fn old_specs_with_missing_fields_parse_with_todays_defaults() {
+    // A producer from before `workload`/`chaos_seed`/`trace` existed.
+    let old = r#"{"scheme":"voronoi-big","k":4,"replicas":2}"#;
+    let spec = ScenarioSpec::from_json(old).unwrap();
+    assert_eq!(spec.scheme, SchemeKind::VoronoiBig);
+    assert_eq!(spec.k, 4);
+    assert_eq!(spec.replicas, 2);
+    let d = ScenarioSpec::default();
+    assert_eq!(spec.workload, Workload::Deploy);
+    assert_eq!(spec.chaos_seed, None);
+    assert!(!spec.trace);
+    assert_eq!(spec.n_points, d.n_points);
+    assert_eq!(spec.base_seed, d.base_seed);
+}
+
+#[test]
+fn future_specs_with_unknown_fields_still_parse() {
+    // A producer newer than this binary: unknown keys must be skipped,
+    // known keys honored, nested unknown structure tolerated.
+    let future = r#"{"scheme":"holes","k":2,"gpu_offload":true,"retry_policy":{"kind":"exp","max":[1,2,3]},"annotations":["a","b"]}"#;
+    let spec = ScenarioSpec::from_json(future).unwrap();
+    assert_eq!(spec.scheme, SchemeKind::Holes);
+    assert_eq!(spec.k, 2);
+}
+
+#[test]
+fn malformed_specs_are_errors_not_panics() {
+    let cases: &[(&str, &str)] = &[
+        ("", "scenario spec"),
+        ("{", "scenario spec"),
+        ("[]", "expected a JSON object"),
+        ("42", "expected a JSON object"),
+        (r#"{"k":3}"#, "missing required field 'scheme'"),
+        (r#"{"scheme":"warp-field"}"#, "unknown scheme 'warp-field'"),
+        (r#"{"scheme":17}"#, "must be a string"),
+        (
+            r#"{"scheme":"random","workload":"overclock"}"#,
+            "unknown workload",
+        ),
+        (r#"{"scheme":"random","k":-1}"#, "non-negative integer"),
+        (r#"{"scheme":"random","k":0}"#, "k must be at least 1"),
+        (
+            r#"{"scheme":"random","loss_pct":250}"#,
+            "loss_pct must be below 100",
+        ),
+        (
+            r#"{"scheme":"random","replicas":0}"#,
+            "replicas must be positive",
+        ),
+        (
+            r#"{"scheme":"random","n_points":0}"#,
+            "n_points must be positive",
+        ),
+        (r#"{"scheme":"random","field_side":-5}"#, "field_side"),
+        (r#"{"scheme":"random","fail_frac":0}"#, "fail_frac"),
+        (r#"{"scheme":"random","base_seed":1.5}"#, "base_seed"),
+        (r#"{"scheme":"random","trace":"yes"}"#, "must be a bool"),
+        (r#"{"scheme":"random"} trailing"#, "scenario spec"),
+    ];
+    for (bad, needle) in cases {
+        let err = ScenarioSpec::from_json(bad).unwrap_err();
+        assert!(err.contains(needle), "{bad:?} -> {err:?}");
+    }
+    // The unknown-scheme error teaches the valid vocabulary.
+    let err = ScenarioSpec::from_json(r#"{"scheme":"warp-field"}"#).unwrap_err();
+    assert!(err.contains("grid-small"), "{err}");
+    // Matrix-level errors carry line numbers.
+    let err = ScenarioMatrix::from_jsonl("{\"scheme\":\"random\"}\nnot json\n").unwrap_err();
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn spec_names_survive_json_escaping() {
+    for name in [
+        "quotes \" and \\ backslashes",
+        "newlines\nand\ttabs",
+        "unicode: käse 漢字 🚀",
+        "control: \u{1} \u{1f}",
+    ] {
+        let spec = ScenarioSpec {
+            name: name.to_owned(),
+            ..ScenarioSpec::default()
+        };
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.name, name);
+    }
+}
+
+const SCHEMES: [SchemeKind; 7] = [
+    SchemeKind::GridSmall,
+    SchemeKind::GridBig,
+    SchemeKind::VoronoiSmall,
+    SchemeKind::VoronoiBig,
+    SchemeKind::Centralized,
+    SchemeKind::Random,
+    SchemeKind::Holes,
+];
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (0usize..7, any::<bool>(), 1u32..6, 0u32..100),
+        (
+            1usize..9,
+            any::<u64>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+        ),
+        (10.0..500.0f64, 50usize..3000, 0usize..300, 0.05..0.95f64),
+    )
+        .prop_map(
+            |(
+                (si, probe, k, loss_pct),
+                (replicas, base_seed, trace, has_chaos, chaos),
+                (field_side, n_points, initial_nodes, fail_frac),
+            )| ScenarioSpec {
+                name: format!("prop-{}-k{k}", SCHEMES[si].spec_name()),
+                scheme: SCHEMES[si],
+                workload: if probe {
+                    Workload::FailureProbe
+                } else {
+                    Workload::Deploy
+                },
+                k,
+                field_side,
+                n_points,
+                initial_nodes,
+                loss_pct,
+                fail_frac,
+                chaos_seed: if has_chaos { Some(chaos) } else { None },
+                replicas,
+                base_seed,
+                trace,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any valid spec survives a serialize→parse cycle exactly — u64
+    /// seeds (beyond 2^53), f64 field sizes, every enum variant.
+    #[test]
+    fn spec_json_roundtrips(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok());
+        let json = spec.to_json();
+        let back =
+            ScenarioSpec::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        prop_assert_eq!(&back, &spec);
+        // And the rendering is canonical: render(parse(render(x))) == render(x).
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Whole matrices round-trip through the JSONL wire format.
+    #[test]
+    fn matrix_jsonl_roundtrips(specs in prop::collection::vec(arb_spec(), 1..8)) {
+        let m = ScenarioMatrix::new(specs).unwrap();
+        let back = ScenarioMatrix::from_jsonl(&m.to_jsonl()).unwrap();
+        prop_assert_eq!(back.fingerprint(), m.fingerprint());
+        prop_assert_eq!(back, m);
+    }
+}
