@@ -1,0 +1,155 @@
+//! PR-9 acceptance benchmark: steady-state allocations per scenario run.
+//!
+//! Requires the `alloc-counter` feature (a counting global allocator):
+//!
+//! ```text
+//! cargo bench -p decor-bench --features alloc-counter --bench pr9_alloc
+//! ```
+//!
+//! Two phases over the same run set (the pr8 tiny cells — four schemes,
+//! deploy workload):
+//!
+//! 1. **Cold** — every run through [`execute_run`], rebuilding the map,
+//!    engine, network and transport from the allocator each time.
+//! 2. **Warm** — the same runs through [`execute_run_in`] against one
+//!    [`WorkerArena`], after a warm-up pass per scheme that sizes the
+//!    pools.
+//!
+//! Asserts, in order:
+//! - warm results are fingerprint-identical to cold results (reuse must
+//!   never change outcomes);
+//! - warm steady-state allocations per run are at least 10× below cold;
+//! - warm allocations per run fit the budget committed in
+//!   `ALLOC_BUDGET.json` at the repo root — the CI alloc-regression
+//!   gate. Regenerate the budget from this bench's printed summary when
+//!   a deliberate change moves the number.
+//!
+//! Counters are process-global, so the measured section runs on this
+//! thread alone; scenario scale stays below the engine's parallel-build
+//! threshold, keeping the counts deterministic.
+
+use decor_bench::alloc_counter::{delta, snapshot};
+use decor_core::parallel::replica_seed;
+use decor_core::SchemeKind;
+use decor_exp::arena::WorkerArena;
+use decor_exp::scenario::{execute_run, execute_run_in, RunSpec, ScenarioSpec};
+use decor_exp::ExpParams;
+
+/// One warm-up round plus this many measured rounds over every cell.
+const MEASURE_ROUNDS: usize = 8;
+const WARMUP_ROUNDS: usize = 2;
+
+fn cells() -> Vec<ScenarioSpec> {
+    let params = ExpParams {
+        n_points: 200,
+        initial_nodes: 24,
+        ..ExpParams::quick()
+    };
+    let schemes: Vec<SchemeKind> = match std::env::var("PR9_SCHEMES") {
+        // Diagnostic filter: PR9_SCHEMES=grid-small,random narrows the
+        // measured cells when hunting an allocation regression.
+        Ok(list) => list
+            .split(',')
+            .map(|s| SchemeKind::parse_spec_name(s).expect("PR9_SCHEMES"))
+            .collect(),
+        Err(_) => vec![
+            SchemeKind::Centralized,
+            SchemeKind::GridSmall,
+            SchemeKind::VoronoiSmall,
+            SchemeKind::Random,
+        ],
+    };
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(i, &scheme)| {
+            let mut spec = ScenarioSpec::from_params(&params, scheme, 1);
+            spec.name = format!("pr9-{}", scheme.spec_name());
+            spec.replicas = WARMUP_ROUNDS + MEASURE_ROUNDS;
+            spec.base_seed = 0xDEC0_0009 ^ ((i as u64) << 16);
+            spec
+        })
+        .collect()
+}
+
+fn run_spec(cell: usize, spec: &ScenarioSpec, replica: usize) -> RunSpec {
+    RunSpec {
+        cell,
+        replica,
+        seed: replica_seed(spec.base_seed, replica),
+    }
+}
+
+fn committed_budget() -> u64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ALLOC_BUDGET.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let json = decor_exp::jsonio::Json::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    json.get("steady_allocs_per_run")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("{path}: missing steady_allocs_per_run"))
+}
+
+fn main() {
+    let cells = cells();
+    let measured: Vec<(usize, usize)> = (WARMUP_ROUNDS..WARMUP_ROUNDS + MEASURE_ROUNDS)
+        .flat_map(|round| (0..cells.len()).map(move |ci| (ci, round)))
+        .collect();
+
+    // Phase 1: cold — fresh state per run.
+    let cold_start = snapshot();
+    let mut cold_prints = Vec::with_capacity(measured.len());
+    for &(ci, replica) in &measured {
+        let run = run_spec(ci, &cells[ci], replica);
+        cold_prints.push(execute_run(&cells[ci], &run).fingerprint_json());
+    }
+    let cold = delta(cold_start, snapshot());
+
+    // Phase 2: warm — one arena, warm-up rounds first.
+    let mut arena = WorkerArena::new();
+    for round in 0..WARMUP_ROUNDS {
+        for (ci, spec) in cells.iter().enumerate() {
+            let run = run_spec(ci, spec, round);
+            std::hint::black_box(execute_run_in(spec, &run, &mut arena));
+        }
+    }
+    let warm_start = snapshot();
+    let mut warm_prints = Vec::with_capacity(measured.len());
+    for &(ci, replica) in &measured {
+        let run = run_spec(ci, &cells[ci], replica);
+        warm_prints.push(execute_run_in(&cells[ci], &run, &mut arena).fingerprint_json());
+    }
+    let warm = delta(warm_start, snapshot());
+
+    assert_eq!(
+        warm_prints, cold_prints,
+        "pooled runs diverged from cold runs"
+    );
+
+    // The fingerprint strings themselves were allocated inside the
+    // measured sections, symmetrically for both phases.
+    let runs = measured.len() as u64;
+    let cold_per_run = cold.allocs / runs;
+    let warm_per_run = warm.allocs / runs;
+    println!(
+        "pr9 alloc: cold {} allocs/run ({} KiB), warm {} allocs/run ({} KiB) — {:.1}x fewer",
+        cold_per_run,
+        cold.bytes / runs / 1024,
+        warm_per_run,
+        warm.bytes / runs / 1024,
+        cold_per_run as f64 / warm_per_run.max(1) as f64
+    );
+    assert!(
+        warm_per_run * 10 <= cold_per_run,
+        "steady-state allocations/run only dropped from {cold_per_run} to \
+         {warm_per_run} — the 10x reuse target regressed"
+    );
+
+    let budget = committed_budget();
+    assert!(
+        warm_per_run <= budget,
+        "steady-state allocations/run {warm_per_run} exceed the committed \
+         budget {budget} (ALLOC_BUDGET.json) — either fix the regression or \
+         deliberately raise the budget"
+    );
+    println!("pr9 alloc: within committed budget {budget}");
+}

@@ -1,0 +1,71 @@
+//! Diagnostic: where do a warm run's steady-state allocations come from?
+//!
+//! Runs one scheme (default grid-small, override via `DIAG_SCHEME`)
+//! through a warm [`WorkerArena`] and prints the allocation count, byte
+//! volume and size-class histogram per phase: map refill, placer, and
+//! the post-processing tail. Companion to the `pr9_alloc` bench —
+//! requires the same `alloc-counter` feature:
+//!
+//! ```text
+//! cargo run --release -p decor-bench --features alloc-counter --example alloc_diag
+//! ```
+
+use decor_bench::alloc_counter::{delta, hist_delta_pretty, hist_snapshot, snapshot};
+use decor_core::{DeploymentConfig, SchemeKind};
+use decor_exp::arena::WorkerArena;
+use decor_exp::ExpParams;
+
+fn main() {
+    let scheme = std::env::var("DIAG_SCHEME")
+        .map(|s| SchemeKind::parse_spec_name(&s).expect("DIAG_SCHEME"))
+        .unwrap_or(SchemeKind::GridSmall);
+    let params = ExpParams {
+        n_points: 200,
+        initial_nodes: 24,
+        ..ExpParams::quick()
+    };
+    let mut arena = WorkerArena::new();
+    let phase = |label: &str, arena: &mut WorkerArena, seed: u64, verbose: bool| {
+        let mut cfg = DeploymentConfig::with_k(1);
+        cfg.link = params.link(seed);
+
+        let s0 = snapshot();
+        let h0 = hist_snapshot();
+        let mut map = arena.make_map(&params, &cfg, params.initial_nodes, seed);
+        let s1 = snapshot();
+        let h1 = hist_snapshot();
+        let placer = params.placer(scheme, seed ^ 0x9E37);
+        let out = placer.place_in(&mut map, &cfg, &mut arena.scratch);
+        let s2 = snapshot();
+        let h2 = hist_snapshot();
+        let coverage = map.fraction_k_covered(cfg.k);
+        arena.recycle(map);
+        let s3 = snapshot();
+        let h3 = hist_snapshot();
+
+        let dm = delta(s0, s1);
+        let dp = delta(s1, s2);
+        let dt = delta(s2, s3);
+        println!(
+            "{label}: map {} allocs / {} B; placer {} allocs / {} B; tail {} allocs / {} B  \
+             (placed {}, rounds {}, coverage {:.3})",
+            dm.allocs,
+            dm.bytes,
+            dp.allocs,
+            dp.bytes,
+            dt.allocs,
+            dt.bytes,
+            out.placed.len(),
+            out.rounds,
+            coverage
+        );
+        if verbose {
+            println!("map hist:\n{}", hist_delta_pretty(&h0, &h1));
+            println!("placer hist:\n{}", hist_delta_pretty(&h1, &h2));
+            println!("tail hist:\n{}", hist_delta_pretty(&h2, &h3));
+        }
+    };
+    phase("cold   ", &mut arena, 1, false);
+    phase("warm #1", &mut arena, 2, false);
+    phase("warm #2", &mut arena, 3, true);
+}

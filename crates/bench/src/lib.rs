@@ -1,1 +1,106 @@
 //! Benchmark crate — bench targets live in `benches/`.
+//!
+//! With the `alloc-counter` feature the crate additionally installs a
+//! counting global allocator (`alloc_counter`, behind the `alloc-counter` feature) used by the `pr9_alloc`
+//! bench to measure steady-state allocations per scenario run.
+
+/// A counting [`std::alloc::System`] wrapper installed as the global
+/// allocator when the `alloc-counter` feature is on.
+///
+/// Every `alloc`/`realloc`/`alloc_zeroed` bumps a relaxed atomic pair
+/// (count, bytes); [`alloc_counter::snapshot`] reads them and
+/// [`alloc_counter::delta`] subtracts two snapshots. The counters are
+/// process-global, so measurements are only meaningful on a quiescent,
+/// single-threaded section — which is exactly how `pr9_alloc` drives
+/// the fleet's warm path.
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    /// Power-of-two size-class counters (`hist[i]` counts allocations of
+    /// `2^(i-1) < size <= 2^i` bytes), for pinpointing what a measured
+    /// section allocated.
+    static HIST: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
+
+    fn bump(size: usize) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(size as u64, Ordering::Relaxed);
+        let class = (usize::BITS - size.max(1).leading_zeros()).min(31) as usize;
+        HIST[class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The counting allocator type (see module docs).
+    pub struct CountingAllocator;
+
+    // SAFETY: defers every operation to `System`, only adding relaxed
+    // atomic bookkeeping on the allocation edges.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            bump(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            bump(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            bump(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Allocator counters at one instant.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct AllocSnapshot {
+        /// Heap allocations (allocs + reallocs + zeroed allocs) so far.
+        pub allocs: u64,
+        /// Bytes requested across those allocations.
+        pub bytes: u64,
+    }
+
+    /// Reads the current counters.
+    pub fn snapshot() -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter growth between two snapshots.
+    pub fn delta(start: AllocSnapshot, end: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: end.allocs - start.allocs,
+            bytes: end.bytes - start.bytes,
+        }
+    }
+
+    /// The size-class histogram counters at one instant (see `HIST`).
+    pub fn hist_snapshot() -> [u64; 32] {
+        std::array::from_fn(|i| HIST[i].load(Ordering::Relaxed))
+    }
+
+    /// Renders the growth between two histogram snapshots as
+    /// `"<=N: count"` lines, skipping empty classes.
+    pub fn hist_delta_pretty(start: &[u64; 32], end: &[u64; 32]) -> String {
+        let mut out = String::new();
+        for i in 0..32 {
+            let d = end[i] - start[i];
+            if d > 0 {
+                out.push_str(&format!("  <={}: {}\n", 1u64 << i, d));
+            }
+        }
+        out
+    }
+}

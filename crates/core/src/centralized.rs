@@ -10,8 +10,8 @@
 use crate::benefit::BenefitTable;
 use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
-use crate::engine::ShardedBenefitEngine;
 use crate::metrics::{PlacementOutcome, TracePoint};
+use crate::scratch::SimScratch;
 use crate::Placer;
 
 /// The centralized greedy baseline.
@@ -67,6 +67,15 @@ impl Placer for CentralizedGreedy {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
+        self.place_in(map, cfg, &mut SimScratch::new())
+    }
+
+    fn place_in(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        scratch: &mut SimScratch,
+    ) -> PlacementOutcome {
         cfg.validate();
         let initial = map.n_active_sensors();
         // Output-sensitive candidate set: any positive-benefit candidate
@@ -76,12 +85,15 @@ impl Placer for CentralizedGreedy {
         // tile summaries track deficiency at `k_target`; a stricter
         // requirement would see deficits the tiles don't, so fall back to
         // the full sweep there.
-        let cands: Vec<usize> = if cfg.k <= map.k_target() {
-            map.deficit_candidates(cfg.rs)
+        let cands = &mut scratch.cands;
+        if cfg.k <= map.k_target() {
+            map.deficit_candidates_into(cfg.rs, &mut scratch.tile_flags, cands);
         } else {
-            (0..map.n_points()).collect()
-        };
-        let mut engine = ShardedBenefitEngine::global(map, cands, cfg.rs, cfg.k);
+            cands.clear();
+            cands.extend(0..map.n_points());
+        }
+        let engine = &mut scratch.engine;
+        engine.reset_global(map, cands, cfg.rs, cfg.k);
         let mut out = PlacementOutcome {
             initial_sensors: initial,
             ..PlacementOutcome::default()

@@ -168,6 +168,32 @@ impl CoverageMap {
         }
     }
 
+    /// Rebuilds `self` as a bitwise copy of `template`, reusing every
+    /// slab `self` already owns. Field-wise `clone_from` lets the point
+    /// CSR, the bucket grids, the coverage slab and the tile layer all
+    /// keep their capacity, so a warm map resets without touching the
+    /// allocator. The result is indistinguishable from
+    /// `template.clone()`.
+    pub fn reset_from(&mut self, template: &CoverageMap) {
+        self.field = template.field;
+        self.points.clone_from(&template.points);
+        self.coverage.clone_from(&template.coverage);
+        self.pt_index.clone_from(&template.pt_index);
+        self.sensors.clone_from(&template.sensors);
+        self.sensor_index.clone_from(&template.sensor_index);
+        self.rs_hist.clone_from(&template.rs_hist);
+        self.max_rs = template.max_rs;
+        self.k_target = template.k_target;
+        self.cov_hist.clone_from(&template.cov_hist);
+        self.tile_cols = template.tile_cols;
+        self.tile_rows = template.tile_rows;
+        self.tile_edge = template.tile_edge;
+        self.tile_of_pid.clone_from(&template.tile_of_pid);
+        self.tile_below.clone_from(&template.tile_below);
+        self.tile_starts.clone_from(&template.tile_starts);
+        self.tile_pids.clone_from(&template.tile_pids);
+    }
+
     /// The coverage requirement this map was configured with.
     pub fn k_target(&self) -> u32 {
         self.k_target
@@ -497,19 +523,26 @@ impl CoverageMap {
     /// configured [`CoverageMap::k_target`] the scan visits only deficient
     /// tiles (output-sensitive); only `k > k_target` pays a field sweep.
     pub fn uncovered_ids(&self, k: u32) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.uncovered_ids_into(k, &mut out);
+        out
+    }
+
+    /// [`CoverageMap::uncovered_ids`] into a reused buffer (cleared
+    /// first).
+    pub fn uncovered_ids_into(&self, k: u32, out: &mut Vec<usize>) {
+        out.clear();
         if self.count_below(k) == 0 {
-            return Vec::new();
+            return;
         }
         if k > self.k_target {
-            return (0..self.points.len())
-                .filter(|&i| (self.coverage[i] as u32) < k)
-                .collect();
+            out.extend((0..self.points.len()).filter(|&i| (self.coverage[i] as u32) < k));
+            return;
         }
         // below-k ⊆ below-k_target, and every below-k_target point lives
         // in a tile with tile_below > 0; tile groups hold ascending pids
         // and tiles are visited in index order, so a final sort restores
         // the global ascending order across tiles.
-        let mut out = Vec::new();
         for (t, &below) in self.tile_below.iter().enumerate() {
             if below == 0 {
                 continue;
@@ -523,7 +556,6 @@ impl CoverageMap {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// True when every approximation point inside the disk `(c, r)` has
@@ -605,8 +637,26 @@ impl CoverageMap {
     /// restricted to these candidates sees every positive-benefit point.
     /// Returns all ids when every tile is deficient.
     pub fn deficit_candidates(&self, margin: f64) -> Vec<usize> {
+        let mut wanted = Vec::new();
+        let mut out = Vec::new();
+        self.deficit_candidates_into(margin, &mut wanted, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`CoverageMap::deficit_candidates`]:
+    /// `wanted` is a tile-flag scratch buffer and `out` receives the
+    /// candidate ids (both cleared first). With warm buffers this does
+    /// not allocate unless the candidate set outgrows `out`.
+    pub fn deficit_candidates_into(
+        &self,
+        margin: f64,
+        wanted: &mut Vec<bool>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         let ring = (margin / self.tile_edge).ceil().max(0.0) as usize;
-        let mut wanted = vec![false; self.tile_below.len()];
+        wanted.clear();
+        wanted.resize(self.tile_below.len(), false);
         let mut any = false;
         for (t, &below) in self.tile_below.iter().enumerate() {
             if below == 0 {
@@ -626,9 +676,8 @@ impl CoverageMap {
             }
         }
         if !any {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         for (t, &w) in wanted.iter().enumerate() {
             if !w {
                 continue;
@@ -638,7 +687,6 @@ impl CoverageMap {
             out.extend(self.tile_pids[start..end].iter().map(|&pid| pid as usize));
         }
         out.sort_unstable();
-        out
     }
 
     /// The minimum coverage over all points. O(min) via the histogram.
@@ -659,12 +707,22 @@ impl CoverageMap {
 
     /// Positions of all active sensors (paired with ids, ascending).
     pub fn active_sensors(&self) -> Vec<(SensorId, Point)> {
-        self.sensors
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active)
-            .map(|(i, s)| (i, s.pos))
-            .collect()
+        let mut out = Vec::new();
+        self.active_sensors_into(&mut out);
+        out
+    }
+
+    /// [`CoverageMap::active_sensors`] into a reused buffer (cleared
+    /// first).
+    pub fn active_sensors_into(&self, out: &mut Vec<(SensorId, Point)>) {
+        out.clear();
+        out.extend(
+            self.sensors
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.active)
+                .map(|(i, s)| (i, s.pos)),
+        );
     }
 
     /// Recomputes every point's coverage from scratch (O(n·deg)) and

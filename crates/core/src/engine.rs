@@ -53,20 +53,23 @@ struct Shard {
     dirty: bool,
 }
 
-enum Scoring {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
     /// Equation 1 over the whole map; candidates are spatially indexed so
     /// a changed point can find the candidates it contributes to. The
     /// candidate set is fixed at build time, so the index is frozen CSR.
-    Global { cand_index: FrozenGridIndex },
+    Global,
     /// Benefit truncated to the shard's own points (grid DECOR's leader
     /// horizon); a candidate is eligible only while itself deficient.
-    Cells {
-        /// Point id -> shard, `u32::MAX` for points outside the partition.
-        shard_of_pid: Vec<u32>,
-    },
+    Cells,
 }
 
 /// Sharded benefit engine over a fixed candidate set. See the module docs.
+///
+/// Every constructor routes through the capacity-preserving
+/// [`ShardedBenefitEngine::reset_global`] / [`ShardedBenefitEngine::reset_cells`]
+/// rebuild paths, so a warm engine reused across runs produces state
+/// bit-identical to a freshly built one.
 pub struct ShardedBenefitEngine {
     rs: f64,
     k: u32,
@@ -76,7 +79,13 @@ pub struct ShardedBenefitEngine {
     benefits: Vec<u64>,
     shard_of_slot: Vec<u32>,
     shards: Vec<Shard>,
-    scoring: Scoring,
+    mode: Mode,
+    /// Global mode's candidate index. Kept as a field (not an enum
+    /// payload) so its slabs survive a mode switch and resets reuse them.
+    cand_index: FrozenGridIndex,
+    /// Cells mode's point id -> shard map (`u32::MAX` for points outside
+    /// the partition). Empty in global mode, capacity retained.
+    shard_of_pid: Vec<u32>,
     /// Scratch for the changed-point set of `apply_coverage_delta`,
     /// reused across placements so the hot path stays allocation-free.
     changed_scratch: Vec<(usize, Point)>,
@@ -88,52 +97,84 @@ impl ShardedBenefitEngine {
     /// diameter `2·rs` (clamped so huge radii degenerate to one shard and
     /// tiny radii to at most a 64×64 tiling).
     pub fn global(map: &CoverageMap, cand_pids: Vec<usize>, rs: f64, k: u32) -> Self {
+        let mut engine = Self::empty();
+        let mut cands = cand_pids;
+        engine.reset_global(map, &mut cands, rs, k);
+        engine
+    }
+
+    /// An engine with no candidates and no shards. The useful starting
+    /// state for a pooled engine: the first `reset_*` sizes the slabs and
+    /// later resets reuse them.
+    pub fn empty() -> Self {
+        ShardedBenefitEngine {
+            rs: 0.0,
+            k: 0,
+            slot_pid: Vec::new(),
+            slot_pos: Vec::new(),
+            benefits: Vec::new(),
+            shard_of_slot: Vec::new(),
+            shards: Vec::new(),
+            mode: Mode::Global,
+            cand_index: FrozenGridIndex::empty(),
+            shard_of_pid: Vec::new(),
+            changed_scratch: Vec::new(),
+        }
+    }
+
+    /// Rebuilds `self` as a global-benefit engine over `cand_pids`,
+    /// reusing every slab already owned. `cand_pids` is *swapped* into
+    /// the engine (the caller gets the previous candidate buffer back,
+    /// contents unspecified) so round-tripping through an arena never
+    /// reallocates the candidate list. State is bit-identical to
+    /// [`ShardedBenefitEngine::global`].
+    pub fn reset_global(&mut self, map: &CoverageMap, cand_pids: &mut Vec<usize>, rs: f64, k: u32) {
+        self.rs = rs;
+        self.k = k;
+        self.mode = Mode::Global;
+        std::mem::swap(&mut self.slot_pid, cand_pids);
+        self.shard_of_pid.clear();
         let field = map.field();
         let (w, h) = (field.width(), field.height());
         let tile = (2.0 * rs).max(w.max(h) / 64.0);
         let nx = (w / tile).ceil().max(1.0) as usize;
         let ny = (h / tile).ceil().max(1.0) as usize;
-        let bucket = query_bucket_edge(rs, w.min(h), cand_pids.len().max(1));
+        let bucket = query_bucket_edge(rs, w.min(h), self.slot_pid.len().max(1));
         let origin = field.min;
-        let mut slot_pos = Vec::with_capacity(cand_pids.len());
-        let mut shard_of_slot = Vec::with_capacity(cand_pids.len());
-        let mut shards: Vec<Shard> = (0..nx * ny)
-            .map(|_| Shard {
-                slots: Vec::new(),
-                best: None,
-                dirty: false,
-            })
-            .collect();
-        for (slot, &pid) in cand_pids.iter().enumerate() {
+        self.slot_pos.clear();
+        self.shard_of_slot.clear();
+        for sh in &mut self.shards {
+            sh.slots.clear();
+            sh.best = None;
+            sh.dirty = false;
+        }
+        self.shards.resize_with(nx * ny, || Shard {
+            slots: Vec::new(),
+            best: None,
+            dirty: false,
+        });
+        for (slot, &pid) in self.slot_pid.iter().enumerate() {
             let pos = map.points()[pid];
             let tx = (((pos.x - origin.x) / tile).floor().max(0.0) as usize).min(nx - 1);
             let ty = (((pos.y - origin.y) / tile).floor().max(0.0) as usize).min(ny - 1);
             let si = ty * nx + tx;
-            shards[si].slots.push(slot);
-            shards[si].dirty = true;
-            shard_of_slot.push(si as u32);
-            slot_pos.push(pos);
+            self.shards[si].slots.push(slot);
+            self.shards[si].dirty = true;
+            self.shard_of_slot.push(si as u32);
+            self.slot_pos.push(pos);
         }
-        let cand_index = FrozenGridIndex::from_points(
+        self.cand_index.rebuild_from_points(
             field.min,
             (w, h),
             bucket,
-            slot_pos.iter().copied().enumerate(),
+            self.slot_pos.iter().copied().enumerate(),
         );
-        let benefits = par_compute(slot_pos.len(), &|slot: usize| {
-            benefit_at(map, slot_pos[slot], rs, k)
-        });
-        ShardedBenefitEngine {
-            rs,
-            k,
-            slot_pid: cand_pids,
-            slot_pos,
-            benefits,
-            shard_of_slot,
-            shards,
-            scoring: Scoring::Global { cand_index },
-            changed_scratch: Vec::new(),
-        }
+        let slot_pos = &self.slot_pos;
+        par_compute_into(
+            slot_pos.len(),
+            &|slot: usize| benefit_at(map, slot_pos[slot], rs, k),
+            &mut self.benefits,
+        );
     }
 
     /// Builds a cell-truncated engine over `partition` (one shard per
@@ -143,60 +184,69 @@ impl ShardedBenefitEngine {
     /// queries skip candidates whose own coverage already meets `k` —
     /// grid DECOR's exact leader rule.
     pub fn cells(map: &CoverageMap, partition: &[Vec<usize>], rs: f64, k: u32) -> Self {
-        let mut shard_of_pid = vec![u32::MAX; map.n_points()];
-        let mut slot_pid = Vec::new();
-        let mut slot_pos = Vec::new();
-        let mut shard_of_slot = Vec::new();
-        let mut shards = Vec::with_capacity(partition.len());
+        let mut engine = Self::empty();
+        engine.reset_cells(map, partition, rs, k);
+        engine
+    }
+
+    /// Rebuilds `self` as a cell-truncated engine over `partition`,
+    /// reusing every slab already owned. State is bit-identical to
+    /// [`ShardedBenefitEngine::cells`].
+    pub fn reset_cells(&mut self, map: &CoverageMap, partition: &[Vec<usize>], rs: f64, k: u32) {
+        self.rs = rs;
+        self.k = k;
+        self.mode = Mode::Cells;
+        self.shard_of_pid.clear();
+        self.shard_of_pid.resize(map.n_points(), u32::MAX);
+        self.slot_pid.clear();
+        self.slot_pos.clear();
+        self.shard_of_slot.clear();
+        for sh in &mut self.shards {
+            sh.slots.clear();
+            sh.best = None;
+            sh.dirty = true;
+        }
+        self.shards.resize_with(partition.len(), || Shard {
+            slots: Vec::new(),
+            best: None,
+            dirty: true,
+        });
         for (si, pids) in partition.iter().enumerate() {
-            let mut slots = Vec::with_capacity(pids.len());
             for &pid in pids {
                 debug_assert_eq!(
-                    shard_of_pid[pid],
+                    self.shard_of_pid[pid],
                     u32::MAX,
                     "partition entries must be disjoint"
                 );
-                shard_of_pid[pid] = si as u32;
-                slots.push(slot_pid.len());
-                shard_of_slot.push(si as u32);
-                slot_pid.push(pid);
-                slot_pos.push(map.points()[pid]);
+                self.shard_of_pid[pid] = si as u32;
+                self.shards[si].slots.push(self.slot_pid.len());
+                self.shard_of_slot.push(si as u32);
+                self.slot_pid.push(pid);
+                self.slot_pos.push(map.points()[pid]);
             }
-            shards.push(Shard {
-                slots,
-                best: None,
-                dirty: true,
-            });
         }
-        let shards_ref = &shards;
-        let shard_of_slot_ref = &shard_of_slot;
-        let slot_pos_ref = &slot_pos;
-        let slot_pid_ref = &slot_pid;
-        let benefits = par_compute(slot_pid.len(), &move |slot: usize| {
-            let c = slot_pos_ref[slot];
-            let sh = &shards_ref[shard_of_slot_ref[slot] as usize];
-            let mut b = 0u64;
-            for &other in &sh.slots {
-                if slot_pos_ref[other].in_disk(c, rs) {
-                    let kp = map.coverage(slot_pid_ref[other]);
-                    if kp < k {
-                        b += (k - kp) as u64;
+        let shards_ref = &self.shards;
+        let shard_of_slot_ref = &self.shard_of_slot;
+        let slot_pos_ref = &self.slot_pos;
+        let slot_pid_ref = &self.slot_pid;
+        par_compute_into(
+            slot_pid_ref.len(),
+            &move |slot: usize| {
+                let c = slot_pos_ref[slot];
+                let sh = &shards_ref[shard_of_slot_ref[slot] as usize];
+                let mut b = 0u64;
+                for &other in &sh.slots {
+                    if slot_pos_ref[other].in_disk(c, rs) {
+                        let kp = map.coverage(slot_pid_ref[other]);
+                        if kp < k {
+                            b += (k - kp) as u64;
+                        }
                     }
                 }
-            }
-            b
-        });
-        ShardedBenefitEngine {
-            rs,
-            k,
-            slot_pid,
-            slot_pos,
-            benefits,
-            shard_of_slot,
-            shards,
-            scoring: Scoring::Cells { shard_of_pid },
-            changed_scratch: Vec::new(),
-        }
+                b
+            },
+            &mut self.benefits,
+        );
     }
 
     /// Number of candidates.
@@ -251,7 +301,7 @@ impl ShardedBenefitEngine {
         if !self.shards[si].dirty {
             return;
         }
-        let cells_mode = matches!(self.scoring, Scoring::Cells { .. });
+        let cells_mode = self.mode == Mode::Cells;
         let mut best: Option<(usize, u64)> = None;
         for &slot in &self.shards[si].slots {
             if cells_mode && map.coverage(self.slot_pid[slot]) >= self.k {
@@ -294,8 +344,9 @@ impl ShardedBenefitEngine {
                 changed.push((pid, ppos));
             }
         });
-        match &self.scoring {
-            Scoring::Global { cand_index } => {
+        match self.mode {
+            Mode::Global => {
+                let cand_index = &self.cand_index;
                 let benefits = &mut self.benefits;
                 let shards = &mut self.shards;
                 let shard_of_slot = &self.shard_of_slot;
@@ -310,10 +361,10 @@ impl ShardedBenefitEngine {
                     });
                 }
             }
-            Scoring::Cells { shard_of_pid } => {
+            Mode::Cells => {
                 let rs = self.rs;
                 for &(pid, ppos) in &changed {
-                    let si = shard_of_pid[pid];
+                    let si = self.shard_of_pid[pid];
                     if si == u32::MAX {
                         continue;
                     }
@@ -340,68 +391,79 @@ impl ShardedBenefitEngine {
     pub fn rebuild(&mut self, map: &CoverageMap) {
         let rs = self.rs;
         let k = self.k;
-        self.benefits = match &self.scoring {
-            Scoring::Global { .. } => {
+        match self.mode {
+            Mode::Global => {
                 let slot_pos = &self.slot_pos;
-                par_compute(slot_pos.len(), &move |slot: usize| {
-                    benefit_at(map, slot_pos[slot], rs, k)
-                })
+                par_compute_into(
+                    slot_pos.len(),
+                    &move |slot: usize| benefit_at(map, slot_pos[slot], rs, k),
+                    &mut self.benefits,
+                );
             }
-            Scoring::Cells { .. } => {
+            Mode::Cells => {
                 let shards = &self.shards;
                 let shard_of_slot = &self.shard_of_slot;
                 let slot_pos = &self.slot_pos;
                 let slot_pid = &self.slot_pid;
-                par_compute(slot_pid.len(), &move |slot: usize| {
-                    let c = slot_pos[slot];
-                    let sh = &shards[shard_of_slot[slot] as usize];
-                    let mut b = 0u64;
-                    for &other in &sh.slots {
-                        if slot_pos[other].in_disk(c, rs) {
-                            let kp = map.coverage(slot_pid[other]);
-                            if kp < k {
-                                b += (k - kp) as u64;
+                par_compute_into(
+                    slot_pid.len(),
+                    &move |slot: usize| {
+                        let c = slot_pos[slot];
+                        let sh = &shards[shard_of_slot[slot] as usize];
+                        let mut b = 0u64;
+                        for &other in &sh.slots {
+                            if slot_pos[other].in_disk(c, rs) {
+                                let kp = map.coverage(slot_pid[other]);
+                                if kp < k {
+                                    b += (k - kp) as u64;
+                                }
                             }
                         }
-                    }
-                    b
-                })
+                        b
+                    },
+                    &mut self.benefits,
+                );
             }
-        };
+        }
         for sh in &mut self.shards {
             sh.dirty = true;
         }
     }
 }
 
-/// Evaluates `f(0..n)` into a vector, fanning chunks out over crossbeam
-/// scoped threads when `n` is large enough to amortize thread spawn —
-/// the chunking pattern of [`crate::parallel::par_best_candidate`].
-fn par_compute<F>(n: usize, f: &F) -> Vec<u64>
+/// Evaluates `f(0..n)` into `out` (cleared first), fanning chunks out
+/// over crossbeam scoped threads when `n` is large enough to amortize
+/// thread spawn — the chunking pattern of
+/// [`crate::parallel::par_best_candidate`]. Workers write disjoint
+/// `chunks_mut` slabs of `out` directly, so a warm buffer makes the
+/// whole evaluation allocation-free; `f` is deterministic per index, so
+/// the result is identical either way.
+fn par_compute_into<F>(n: usize, f: &F, out: &mut Vec<u64>)
 where
     F: Fn(usize) -> u64 + Sync,
 {
+    out.clear();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n.max(1));
     if threads <= 1 || n < PAR_BUILD_THRESHOLD {
-        return (0..n).map(f).collect();
+        out.extend((0..n).map(f));
+        return;
     }
+    out.resize(n, 0);
     let chunk = n.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for start in (0..n).step_by(chunk) {
-            let end = (start + chunk).min(n);
-            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<u64>>()));
+        for (i, slab) in out.chunks_mut(chunk).enumerate() {
+            let start = i * chunk;
+            scope.spawn(move |_| {
+                for (j, b) in slab.iter_mut().enumerate() {
+                    *b = f(start + j);
+                }
+            });
         }
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("benefit build worker panicked"));
-        }
-        out
     })
-    .expect("scope failed")
+    .expect("scope failed");
 }
 
 #[cfg(test)]

@@ -39,13 +39,14 @@ use crate::engine::ShardedBenefitEngine;
 use crate::invariants::InvariantChecker;
 use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
+use crate::scratch::SimScratch;
 use crate::Placer;
 use decor_geom::{Aabb, Point};
 use decor_net::{
-    rotation_leader, ChaosEngine, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport,
+    rotation_leader_in, ChaosEngine, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport,
 };
 use decor_trace::TraceEvent;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Grid-based DECOR with square cells of edge `cell_size`.
 #[derive(Clone, Copy, Debug)]
@@ -73,29 +74,46 @@ pub(crate) struct Cells {
 
 impl Cells {
     pub(crate) fn new(field: &Aabb, size: f64, map: &CoverageMap) -> Self {
+        let mut cells = Cells {
+            cols: 0,
+            rows: 0,
+            size,
+            origin: field.min,
+            points: Vec::new(),
+            cell_of_pid: Vec::new(),
+            members: Vec::new(),
+        };
+        cells.rebuild(field, size, map);
+        cells
+    }
+
+    /// Re-derives the partition in place, preserving the allocations of a
+    /// previous run — the cold constructor routes through here, so a
+    /// rebuilt partition is identical to a fresh one.
+    pub(crate) fn rebuild(&mut self, field: &Aabb, size: f64, map: &CoverageMap) {
         let cols = (field.width() / size).ceil().max(1.0) as usize;
         let rows = (field.height() / size).ceil().max(1.0) as usize;
-        let mut points = vec![Vec::new(); cols * rows];
-        let origin = field.min;
-        let index_of = |p: Point| -> usize {
+        self.cols = cols;
+        self.rows = rows;
+        self.size = size;
+        self.origin = field.min;
+        for v in &mut self.points {
+            v.clear();
+        }
+        self.points.resize_with(cols * rows, Vec::new);
+        for v in &mut self.members {
+            v.clear();
+        }
+        self.members.resize_with(cols * rows, Vec::new);
+        self.cell_of_pid.clear();
+        self.cell_of_pid.resize(map.n_points(), 0);
+        let origin = self.origin;
+        for (pid, &p) in map.points().iter().enumerate() {
             let cx = (((p.x - origin.x) / size).floor() as usize).min(cols - 1);
             let cy = (((p.y - origin.y) / size).floor() as usize).min(rows - 1);
-            cy * cols + cx
-        };
-        let mut cell_of_pid = vec![0u32; map.n_points()];
-        for (pid, &p) in map.points().iter().enumerate() {
-            let ci = index_of(p);
-            points[ci].push(pid);
-            cell_of_pid[pid] = ci as u32;
-        }
-        Cells {
-            cols,
-            rows,
-            size,
-            origin,
-            points,
-            cell_of_pid,
-            members: vec![Vec::new(); cols * rows],
+            let ci = cy * cols + cx;
+            self.points[ci].push(pid);
+            self.cell_of_pid[pid] = ci as u32;
         }
     }
 
@@ -130,9 +148,16 @@ impl Cells {
 
     /// The 8-neighborhood of cell `ci` (indices only, in-bounds).
     pub(crate) fn neighbors(&self, ci: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(8);
+        self.neighbors_into(ci, &mut out);
+        out
+    }
+
+    /// [`Cells::neighbors`] into a reused buffer (cleared first).
+    pub(crate) fn neighbors_into(&self, ci: usize, out: &mut Vec<usize>) {
+        out.clear();
         let cx = (ci % self.cols) as isize;
         let cy = (ci / self.cols) as isize;
-        let mut out = Vec::with_capacity(8);
         for dy in -1..=1 {
             for dx in -1..=1 {
                 if dx == 0 && dy == 0 {
@@ -145,8 +170,43 @@ impl Cells {
                 }
             }
         }
-        out
     }
+}
+
+/// Grid-scheme round-loop scratch: every per-run buffer `place_impl`
+/// needs, pooled inside [`SimScratch`] so warm runs reuse the capacity.
+/// All state is fully re-derived per run — nothing observable leaks
+/// between runs.
+#[derive(Default)]
+pub(crate) struct GridScratch {
+    /// The cell partition, rebuilt per run via [`Cells::rebuild`].
+    cells: Option<Cells>,
+    /// Sensor id per network node id.
+    sid_of: Vec<usize>,
+    /// Shard index per cell (`u32::MAX` = no shard).
+    shard_of_cell: Vec<u32>,
+    /// Per-cell deficiency flags used while building the partition.
+    deficient: Vec<bool>,
+    /// Deficient point ids (`CoverageMap::uncovered_ids_into` target).
+    uncovered: Vec<usize>,
+    /// Engine partition: the points of each deficient cell.
+    partition: Vec<Vec<usize>>,
+    /// Engine-path adoption scan lists (shard-bearing neighbors).
+    adopt_targets: Vec<Vec<usize>>,
+    /// Round decisions: (acting cell, leader, target pid, benefit).
+    decisions: Vec<(usize, NodeId, usize, u64)>,
+    /// Empty cells claimed by adoption this round.
+    claimed_empty: Vec<usize>,
+    /// In-flight notices: (msg, notified cell, announced sensor).
+    pending: Vec<(MsgId, usize, usize)>,
+    /// Neighbor-index buffer for [`Cells::neighbors_into`].
+    neigh: Vec<usize>,
+    /// Election sort buffer for [`rotation_leader_in`].
+    elect: Vec<NodeId>,
+    /// Per-round transport conclusions ([`Transport::flush_into`] target).
+    flushed: Vec<(MsgId, DeliveryOutcome)>,
+    /// Active-sensor buffer for `CoverageMap::active_sensors_into`.
+    sensors: Vec<(usize, Point)>,
 }
 
 /// Retires chaos-crashed nodes from the grid placer's world: the coverage
@@ -259,7 +319,7 @@ impl GridDecor {
     /// never regain a positive truncated benefit — the direct scan would
     /// answer `None` for it on every round.
     fn cell_best(
-        engine: &mut Option<ShardedBenefitEngine>,
+        engine: &mut Option<&mut ShardedBenefitEngine>,
         shard_of_cell: &[u32],
         map: &CoverageMap,
         cells: &Cells,
@@ -286,7 +346,16 @@ impl Placer for GridDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
-        self.place_impl(map, cfg, true, true)
+        self.place_impl(map, cfg, true, true, &mut SimScratch::new())
+    }
+
+    fn place_in(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        scratch: &mut SimScratch,
+    ) -> PlacementOutcome {
+        self.place_impl(map, cfg, true, true, scratch)
     }
 }
 
@@ -304,6 +373,7 @@ impl GridDecor {
         cfg: &DeploymentConfig,
         use_engine: bool,
         use_transport: bool,
+        scratch: &mut SimScratch,
     ) -> PlacementOutcome {
         cfg.validate();
         assert!(
@@ -316,19 +386,68 @@ impl GridDecor {
         // crashes retire sensors the cache cannot un-add — scan directly.
         let use_engine = use_engine && !lossy && cfg.chaos.is_none();
         let field = *map.field();
-        let mut cells = Cells::new(&field, self.cell_size, map);
+        // Split the scratch into its independent pools up front so the
+        // round loop can borrow them side by side.
+        let SimScratch {
+            engine: engine_pool,
+            net: net_pool,
+            transport: transport_pool,
+            grid:
+                GridScratch {
+                    cells: cells_pool,
+                    sid_of,
+                    shard_of_cell,
+                    deficient,
+                    uncovered,
+                    partition,
+                    adopt_targets,
+                    decisions,
+                    claimed_empty,
+                    pending,
+                    neigh,
+                    elect,
+                    flushed,
+                    sensors,
+                },
+            ..
+        } = scratch;
+        let mut cells = match cells_pool.take() {
+            Some(mut c) => {
+                c.rebuild(&field, self.cell_size, map);
+                c
+            }
+            None => Cells::new(&field, self.cell_size, map),
+        };
         // Inter-leader range: diagonal of a 2-cell block (the paper's
         // 10·√2 for 5×5 cells), never below the configured rc.
         let rc_grid = (2.0 * std::f64::consts::SQRT_2 * self.cell_size).max(cfg.rc);
-        let mut net = Network::new(field);
+        // Pooled network/transport: a warm scratch hands back last run's
+        // structures, reset to the same state a fresh construction yields.
+        let mut net = match net_pool.take() {
+            Some(mut n) => {
+                n.reset(field);
+                n
+            }
+            None => Network::new(field),
+        };
         cfg.link.apply(&mut net);
         net.set_trace(cfg.trace.clone());
-        let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        let mut transport = if use_transport {
+            Some(match transport_pool.take() {
+                Some(mut t) => {
+                    t.reset(cfg.link.transport());
+                    t
+                }
+                None => Transport::new(cfg.link.transport()),
+            })
+        } else {
+            None
+        };
         // Chaos rides the transport clock, so the fire-and-forget
         // reference path ignores any configured plan (differential tests
         // never combine the two).
         let mut chaos = match (&transport, &cfg.chaos) {
-            (Some(_), Some(plan)) => Some(ChaosEngine::new(plan.clone())),
+            (Some(_), Some(plan)) => Some(ChaosEngine::borrowed(plan)),
             _ => None,
         };
         // Viewer key: cell index. Cell members share a blackboard, so a
@@ -336,8 +455,9 @@ impl GridDecor {
         let mut knowledge = NeighborKnowledge::new();
         // Sensor id of each network node, indexed by node id (chaos crash
         // processing maps the victim back to its map sensor).
-        let mut sid_of: Vec<usize> = Vec::new();
-        for (sid, pos) in map.active_sensors() {
+        sid_of.clear();
+        map.active_sensors_into(sensors);
+        for &(sid, pos) in sensors.iter() {
             let nid = net.add_node(pos, cfg.rs, rc_grid);
             debug_assert_eq!(nid, sid_of.len());
             sid_of.push(sid);
@@ -353,37 +473,52 @@ impl GridDecor {
         // so the engine build (the O(points·deg) part) touches only the
         // damaged cells — `uncovered_ids` walks the coverage map's
         // deficient tiles rather than sweeping the field.
-        let mut shard_of_cell: Vec<u32> = Vec::new();
-        let mut engine: Option<ShardedBenefitEngine> = None;
+        let mut engine: Option<&mut ShardedBenefitEngine> = None;
+        shard_of_cell.clear();
         if use_engine {
-            shard_of_cell = vec![u32::MAX; cells.len()];
-            let mut deficient = vec![false; cells.len()];
-            for pid in map.uncovered_ids(cfg.k) {
+            shard_of_cell.resize(cells.len(), u32::MAX);
+            deficient.clear();
+            deficient.resize(cells.len(), false);
+            map.uncovered_ids_into(cfg.k, uncovered);
+            for &pid in uncovered.iter() {
                 deficient[cells.cell_of_pid[pid] as usize] = true;
             }
-            let mut partition: Vec<Vec<usize>> = Vec::new();
+            // Partition slots are recycled in place; only the first
+            // `n_shards` entries are meaningful this run.
+            let mut n_shards = 0usize;
             for ci in 0..cells.len() {
                 if deficient[ci] {
-                    shard_of_cell[ci] = partition.len() as u32;
-                    partition.push(cells.points[ci].clone());
+                    shard_of_cell[ci] = n_shards as u32;
+                    if n_shards == partition.len() {
+                        partition.push(Vec::new());
+                    }
+                    partition[n_shards].clear();
+                    partition[n_shards].extend_from_slice(&cells.points[ci]);
+                    n_shards += 1;
                 }
             }
-            engine = Some(ShardedBenefitEngine::cells(map, &partition, cfg.rs, cfg.k));
+            engine_pool.reset_cells(map, &partition[..n_shards], cfg.rs, cfg.k);
+            engine = Some(engine_pool);
         }
         // On the engine path adoption can only land in a shard-bearing
         // neighbor (clean cells answer `None` forever), so each cell's
         // adoption scan list shrinks to those, preserving neighbor order.
-        let adopt_targets: Option<Vec<Vec<usize>>> = engine.is_some().then(|| {
-            (0..cells.len())
-                .map(|ci| {
-                    cells
-                        .neighbors(ci)
-                        .into_iter()
-                        .filter(|&nc| shard_of_cell[nc] != u32::MAX)
-                        .collect()
-                })
-                .collect()
-        });
+        let use_adopt_targets = engine.is_some();
+        if use_adopt_targets {
+            for ci in 0..cells.len() {
+                if ci == adopt_targets.len() {
+                    adopt_targets.push(Vec::new());
+                }
+                cells.neighbors_into(ci, neigh);
+                adopt_targets[ci].clear();
+                adopt_targets[ci].extend(
+                    neigh
+                        .iter()
+                        .copied()
+                        .filter(|&nc| shard_of_cell[nc] != u32::MAX),
+                );
+            }
+        }
         let mut out = PlacementOutcome {
             initial_sensors: initial,
             ..PlacementOutcome::default()
@@ -403,7 +538,7 @@ impl GridDecor {
                     map,
                     &mut cells,
                     &net,
-                    &sid_of,
+                    sid_of,
                     &cfg.invariants,
                 );
             }
@@ -416,8 +551,9 @@ impl GridDecor {
             });
             // Decisions from the coverage snapshot at round start. Each
             // entry: (acting cell, leader node, target point id, benefit).
-            let mut decisions: Vec<(usize, NodeId, usize, u64)> = Vec::new();
-            let mut claimed_empty: Vec<usize> = Vec::new();
+            decisions.clear();
+            claimed_empty.clear();
+            #[allow(clippy::needless_range_loop)] // ci indexes members + adopt_targets
             for ci in 0..cells.len() {
                 if cells.members[ci].is_empty() {
                     continue;
@@ -426,7 +562,8 @@ impl GridDecor {
                     cell: ci as u64,
                     round,
                 });
-                let leader = rotation_leader(&cells.members[ci], round).expect("non-empty");
+                let leader =
+                    rotation_leader_in(&cells.members[ci], round, elect).expect("non-empty");
                 cfg.trace.emit(TraceEvent::ElectionWon {
                     cell: ci as u64,
                     round,
@@ -440,7 +577,7 @@ impl GridDecor {
                 );
                 let hidden = knowledge.hidden_from(ci);
                 if let Some((pid, b)) =
-                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, ci, cfg, hidden)
+                    Self::cell_best(&mut engine, shard_of_cell, map, &cells, ci, cfg, hidden)
                 {
                     if cfg.invariants.is_enabled() {
                         cfg.invariants.check_estimate(
@@ -458,20 +595,18 @@ impl GridDecor {
                 // with its own cell's knowledge. On the engine path the
                 // scan list was precomputed down to shard-bearing
                 // neighbors; everything else is a guaranteed `None`.
-                let neigh_scratch;
-                let adoption_scan: &[usize] = match &adopt_targets {
-                    Some(t) => &t[ci],
-                    None => {
-                        neigh_scratch = cells.neighbors(ci);
-                        &neigh_scratch
-                    }
+                let adoption_scan: &[usize] = if use_adopt_targets {
+                    &adopt_targets[ci]
+                } else {
+                    cells.neighbors_into(ci, neigh);
+                    neigh
                 };
                 for &nc in adoption_scan {
                     if !cells.members[nc].is_empty() || claimed_empty.contains(&nc) {
                         continue;
                     }
                     if let Some((pid, b)) =
-                        Self::cell_best(&mut engine, &shard_of_cell, map, &cells, nc, cfg, hidden)
+                        Self::cell_best(&mut engine, shard_of_cell, map, &cells, nc, cfg, hidden)
                     {
                         if cfg.invariants.is_enabled() {
                             cfg.invariants.check_estimate(
@@ -505,7 +640,7 @@ impl GridDecor {
                             map,
                             &mut cells,
                             &net,
-                            &sid_of,
+                            sid_of,
                             &cfg.invariants,
                         );
                         cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 0 });
@@ -523,12 +658,12 @@ impl GridDecor {
                 }
                 // Base-station dispatch plans from ground truth (no ledger).
                 let deficient_cell = (0..cells.len()).find(|&ci| {
-                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, ci, cfg, None)
+                    Self::cell_best(&mut engine, shard_of_cell, map, &cells, ci, cfg, None)
                         .is_some()
                 });
                 let Some(target) = deficient_cell else { break };
                 let (pid, b) =
-                    Self::cell_best(&mut engine, &shard_of_cell, map, &cells, target, cfg, None)
+                    Self::cell_best(&mut engine, shard_of_cell, map, &cells, target, cfg, None)
                         .unwrap();
                 let seeder = (0..cells.len())
                     .filter(|&ci| !cells.members[ci].is_empty())
@@ -539,7 +674,7 @@ impl GridDecor {
                     });
                 match seeder {
                     Some(ci) => {
-                        let leader = rotation_leader(&cells.members[ci], round).unwrap();
+                        let leader = rotation_leader_in(&cells.members[ci], round, elect).unwrap();
                         decisions.push((target, leader, pid, b));
                     }
                     None => {
@@ -579,9 +714,9 @@ impl GridDecor {
             // Apply all placements simultaneously, then send notices.
             // (msg handle, notified cell, announced sensor) per transport
             // notice of this round.
-            let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
+            pending.clear();
             let placed_before_round = out.placed.len();
-            for &(ci, leader, pid, benefit) in &decisions {
+            for &(ci, leader, pid, benefit) in decisions.iter() {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
@@ -608,12 +743,14 @@ impl GridDecor {
                 // Placement notice to every neighboring cell whose area the
                 // new disk overlaps and that currently has a leader.
                 let disk = decor_geom::Disk::new(pos, cfg.rs);
-                for &nc in &cells.neighbors(ci) {
+                cells.neighbors_into(ci, neigh);
+                for &nc in neigh.iter() {
                     if cells.members[nc].is_empty() {
                         continue;
                     }
                     if disk.intersects_aabb(&cells.rect(nc)) {
-                        let nb_leader = rotation_leader(&cells.members[nc], round).unwrap();
+                        let nb_leader =
+                            rotation_leader_in(&cells.members[nc], round, elect).unwrap();
                         match transport.as_mut() {
                             Some(tr) => {
                                 let id =
@@ -639,13 +776,20 @@ impl GridDecor {
             if let Some(tr) = transport.as_mut() {
                 // Under chaos the flush interleaves fault injection with
                 // the retry clock, so crashes land between retransmissions.
-                let flushed = match chaos.as_mut() {
-                    Some(ch) => tr.flush_chaos(&mut net, ch),
-                    None => tr.flush(&mut net),
-                };
-                let outcomes: BTreeMap<MsgId, DeliveryOutcome> = flushed.into_iter().collect();
-                for (id, nc, new_sid) in pending {
-                    match outcomes.get(&id) {
+                match chaos.as_mut() {
+                    Some(ch) => tr.flush_chaos_into(&mut net, ch, flushed),
+                    None => tr.flush_into(&mut net, flushed),
+                }
+                // Ids are unique, so a sorted slice answers the same
+                // lookups the old per-round BTreeMap did, without its
+                // node allocations.
+                flushed.sort_unstable_by_key(|&(id, _)| id);
+                for &(id, nc, new_sid) in pending.iter() {
+                    let outcome = flushed
+                        .binary_search_by_key(&id, |&(i, _)| i)
+                        .ok()
+                        .map(|ix| &flushed[ix].1);
+                    match outcome {
                         Some(DeliveryOutcome::Delivered { .. }) => {
                             cfg.invariants.check_ledger(
                                 nc as u64,
@@ -690,7 +834,7 @@ impl GridDecor {
                         map,
                         &mut cells,
                         &net,
-                        &sid_of,
+                        sid_of,
                         &cfg.invariants,
                     );
                 }
@@ -722,7 +866,7 @@ impl GridDecor {
                             map,
                             &mut cells,
                             &net,
-                            &sid_of,
+                            sid_of,
                             &cfg.invariants,
                         );
                     }
@@ -759,6 +903,11 @@ impl GridDecor {
             notices_gave_up,
             duplicates_suppressed,
         };
+        *cells_pool = Some(cells);
+        *net_pool = Some(net);
+        if let Some(t) = transport {
+            *transport_pool = Some(t);
+        }
         out
     }
 }
@@ -888,8 +1037,8 @@ mod tests {
             let (mut m_engine, cfg) = setup(k, 600, initial, 11);
             let mut m_direct = m_engine.clone();
             let placer = GridDecor { cell_size: cell };
-            let a = placer.place_impl(&mut m_engine, &cfg, true, true);
-            let b = placer.place_impl(&mut m_direct, &cfg, false, true);
+            let a = placer.place_impl(&mut m_engine, &cfg, true, true, &mut SimScratch::new());
+            let b = placer.place_impl(&mut m_direct, &cfg, false, true, &mut SimScratch::new());
             assert_eq!(a.placed, b.placed, "k={k} initial={initial} cell={cell}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);
@@ -923,8 +1072,8 @@ mod tests {
         assert!(map.count_below(cfg.k) > 0);
         let mut m_direct = map.clone();
         let placer = GridDecor { cell_size: 5.0 };
-        let a = placer.place_impl(&mut map, &cfg, true, true);
-        let b = placer.place_impl(&mut m_direct, &cfg, false, true);
+        let a = placer.place_impl(&mut map, &cfg, true, true, &mut SimScratch::new());
+        let b = placer.place_impl(&mut m_direct, &cfg, false, true, &mut SimScratch::new());
         assert_eq!(a.placed, b.placed);
         assert_eq!(a.rounds, b.rounds);
         assert!(a.fully_covered);
@@ -939,8 +1088,8 @@ mod tests {
             let (mut m_tr, cfg) = setup(k, 500, initial, 15);
             let mut m_legacy = m_tr.clone();
             let placer = GridDecor { cell_size: cell };
-            let a = placer.place_impl(&mut m_tr, &cfg, true, true);
-            let b = placer.place_impl(&mut m_legacy, &cfg, true, false);
+            let a = placer.place_impl(&mut m_tr, &cfg, true, true, &mut SimScratch::new());
+            let b = placer.place_impl(&mut m_legacy, &cfg, true, false, &mut SimScratch::new());
             assert_eq!(a.placed, b.placed, "k={k} cell={cell}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);

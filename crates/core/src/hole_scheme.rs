@@ -110,7 +110,7 @@ impl Placer for HoleHealing {
         // healer itself is a central authority and sends no messages.
         let mut net = Network::new(field);
         net.set_trace(cfg.trace.clone());
-        let mut chaos = cfg.chaos.clone().map(ChaosEngine::new);
+        let mut chaos = cfg.chaos.as_ref().map(ChaosEngine::borrowed);
         let mut sid_of: BTreeMap<NodeId, usize> = BTreeMap::new();
         for (sid, pos) in map.active_sensors() {
             let nid = net.add_node(pos, cfg.rs, cfg.rc);

@@ -42,6 +42,7 @@ pub mod random_place;
 pub mod redundancy;
 pub mod reliability;
 pub mod restore;
+pub mod scratch;
 pub mod voronoi_scheme;
 
 pub use async_grid::AsyncGridDecor;
@@ -58,6 +59,7 @@ pub use knowledge::NeighborKnowledge;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
 pub use random_place::RandomPlacement;
 pub use redundancy::redundant_mask;
+pub use scratch::SimScratch;
 pub use voronoi_scheme::VoronoiDecor;
 
 /// A placement algorithm: consumes a coverage map (which already contains
@@ -71,4 +73,18 @@ pub trait Placer {
     /// Runs the algorithm, mutating `map` by adding sensors. Returns what
     /// was placed plus cost accounting.
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome;
+
+    /// Like [`Placer::place`], but threads a pooled [`SimScratch`] so a
+    /// warm caller reuses the engine/network/transport allocations from
+    /// the previous run. The default delegates to `place` (cold path);
+    /// schemes that override it must produce bit-identical outcomes
+    /// either way.
+    fn place_in(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        _scratch: &mut SimScratch,
+    ) -> PlacementOutcome {
+        self.place(map, cfg)
+    }
 }

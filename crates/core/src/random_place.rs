@@ -48,7 +48,7 @@ impl Placer for RandomPlacement {
             // Count how many points cross the threshold k due to this
             // sensor: those at exactly k-1 before.
             let mut crossed = 0usize;
-            map.for_each_point_within(pos, cfg.rs, |pid, _| {
+            map.for_each_point_within_unordered(pos, cfg.rs, |pid, _| {
                 if map.coverage(pid) == cfg.k - 1 {
                     crossed += 1;
                 }

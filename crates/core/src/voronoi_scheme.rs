@@ -36,10 +36,11 @@ use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
 use crate::knowledge::NeighborKnowledge;
 use crate::metrics::{MessageStats, PlacementOutcome, TracePoint};
+use crate::scratch::SimScratch;
 use crate::Placer;
-use decor_net::{ChaosEngine, Message, MsgId, Network, NodeId, Transport};
+use decor_net::{ChaosEngine, DeliveryOutcome, Message, MsgId, Network, NodeId, Transport};
 use decor_trace::TraceEvent;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Voronoi-based DECOR. `rc` overrides the config's communication radius
 /// (the paper evaluates `rc = 8` and `rc = 10·√2 ≈ 14.14`).
@@ -80,7 +81,8 @@ impl VoronoiDecor {
     /// point (candidate owners are within `rc`, and a coverer is within
     /// `rs <= rc`), which is what lets rounds cache it per point and
     /// invalidate just the `rc`-disk of each new placement.
-    fn point_owners(
+    #[allow(clippy::too_many_arguments)]
+    fn point_owners_into(
         map: &CoverageMap,
         pid: usize,
         rc: f64,
@@ -88,7 +90,9 @@ impl VoronoiDecor {
         k: u32,
         knowledge: &NeighborKnowledge,
         scratch: &mut OwnersScratch,
-    ) -> Vec<usize> {
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         let p = map.points()[pid];
         // Agents that could own p (scratch buffers reused across points).
         let cands = &mut scratch.cands;
@@ -97,13 +101,17 @@ impl VoronoiDecor {
             cands.push((sid, spos, p.dist_sq(spos)));
         });
         if cands.is_empty() {
-            return Vec::new(); // unreachable this round; fringe grows later
+            return; // unreachable this round; fringe grows later
         }
         cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
         let coverers = &mut scratch.coverers;
         coverers.clear();
-        map.for_each_sensor_covering(p, |sid, spos| coverers.push((sid, spos)));
-        let mut out = Vec::new();
+        // `coverage(pid)` is the maintained count of exactly the sensors
+        // `for_each_sensor_covering` would visit here, so a zero-coverage
+        // point can skip the bucket scan: the coverer list is empty.
+        if map.coverage(pid) > 0 {
+            map.for_each_sensor_covering(p, |sid, spos| coverers.push((sid, spos)));
+        }
         for (idx, &(sid, spos, _)) in cands.iter().enumerate() {
             let hidden = knowledge.hidden_from(sid);
             if Self::estimate(spos, coverers, rc, hidden) >= k {
@@ -118,7 +126,6 @@ impl VoronoiDecor {
                 out.push(sid);
             }
         }
-        out
     }
 
     /// Locally-estimated benefit of agent `viewer` placing at `c`:
@@ -138,8 +145,14 @@ impl VoronoiDecor {
         // loop: the benefit is an order-independent integer sum, and the
         // per-point estimate counts known coverers exactly as
         // [`Self::estimate`] does over the collected slice.
-        map.for_each_point_within_unordered(c, cfg.rs, |_, ppos| {
+        map.for_each_point_within_unordered(c, cfg.rs, |ppid, ppos| {
             if viewer.dist_sq(ppos) <= rc_sq {
+                // A zero-coverage point has no coverers to scan, so the
+                // viewer's estimate is 0 no matter what it knows.
+                if map.coverage(ppid) == 0 {
+                    b += cfg.k as u64;
+                    return;
+                }
                 let mut est = 0u32;
                 map.for_each_sensor_covering(ppos, |sid, spos| {
                     if viewer.dist_sq(spos) <= rc_sq && hidden.is_none_or(|h| !h.contains(&sid)) {
@@ -155,12 +168,54 @@ impl VoronoiDecor {
     }
 }
 
-/// Reusable buffers for [`VoronoiDecor::point_owners`], so the per-point
-/// ownership pass does not allocate per point.
+/// Reusable buffers for [`VoronoiDecor::point_owners_into`], so the
+/// per-point ownership pass does not allocate per point.
 #[derive(Default)]
 struct OwnersScratch {
     cands: Vec<(usize, decor_geom::Point, f64)>,
     coverers: Vec<(usize, decor_geom::Point)>,
+}
+
+/// Voronoi-scheme run/round buffers, pooled in [`SimScratch`] so warm
+/// fleet runs reuse last run's capacity. Everything is cleared or
+/// rebuilt at run start (or per round) before any read, so contents
+/// never leak between runs — the pool-poisoning proptests pin this.
+#[derive(Default)]
+pub(crate) struct VoronoiScratch {
+    /// Per-point ownership cache; the inner vecs are recycled in place.
+    owners: Vec<Vec<usize>>,
+    /// Cache-invalidation dedup guard (`true` = needs recompute).
+    owners_dirty: Vec<bool>,
+    /// Worklist of point ids awaiting an ownership recompute.
+    dirty: Vec<usize>,
+    /// Dense "point has at least one owner" flags. An ascending-pid scan
+    /// over this reproduces the retired `BTreeSet<usize>`'s iteration
+    /// order exactly.
+    active: Vec<bool>,
+    /// Per-round `(agent sid, owned deficient pid)` pairs; pushed in
+    /// ascending-pid order and sorted, replacing the old per-round
+    /// `BTreeMap<usize, Vec<usize>>` grouping (same order: ascending
+    /// sid, then ascending pid, and the pairs are unique).
+    owned: Vec<(usize, usize)>,
+    /// Per-round `(agent sid, point id, estimated benefit)` decisions.
+    decisions: Vec<(usize, usize, u64)>,
+    /// Per-round `(msg handle, recipient sid, announced sid)` notices.
+    pending: Vec<(MsgId, usize, usize)>,
+    /// Per-round flush outcomes, sorted by message id for lookup.
+    flushed: Vec<(MsgId, DeliveryOutcome)>,
+    /// Candidate/coverer buffers for the ownership pass.
+    owners_scratch: OwnersScratch,
+    /// Neighbor-list buffer for placement notices.
+    nbs_buf: Vec<NodeId>,
+    /// Dense sid → node id map (`usize::MAX` = sensor has no node, i.e.
+    /// it was inactive when the run started).
+    net_of: Vec<NodeId>,
+    /// Dense node id → sid map (node ids are insertion-dense).
+    sid_of: Vec<usize>,
+    /// Initial active-sensor list buffer.
+    sensors: Vec<(usize, decor_geom::Point)>,
+    /// Stall-rescue deficient-point buffer.
+    deficient: Vec<usize>,
 }
 
 /// Retires chaos-crashed nodes from the Voronoi placer's world: the
@@ -171,12 +226,12 @@ struct OwnersScratch {
 fn retire_crashed(
     crashed: Vec<NodeId>,
     map: &mut CoverageMap,
-    sid_of: &BTreeMap<NodeId, usize>,
+    sid_of: &[usize],
     checker: &crate::invariants::InvariantChecker,
 ) {
     for nid in crashed {
         checker.note_crash(nid as u64);
-        map.deactivate_sensor(sid_of[&nid]);
+        map.deactivate_sensor(sid_of[nid]);
     }
 }
 
@@ -186,7 +241,16 @@ impl Placer for VoronoiDecor {
     }
 
     fn place(&self, map: &mut CoverageMap, cfg: &DeploymentConfig) -> PlacementOutcome {
-        self.place_impl(map, cfg, true, true)
+        self.place_impl(map, cfg, true, true, &mut SimScratch::new())
+    }
+
+    fn place_in(
+        &self,
+        map: &mut CoverageMap,
+        cfg: &DeploymentConfig,
+        scratch: &mut SimScratch,
+    ) -> PlacementOutcome {
+        self.place_impl(map, cfg, true, true, scratch)
     }
 }
 
@@ -206,6 +270,7 @@ impl VoronoiDecor {
         cfg: &DeploymentConfig,
         use_cache: bool,
         use_transport: bool,
+        pool: &mut SimScratch,
     ) -> PlacementOutcome {
         cfg.validate();
         let rc = self.rc;
@@ -221,24 +286,68 @@ impl VoronoiDecor {
         // full recomputation.
         let use_cache = use_cache && !lossy && cfg.chaos.is_none();
         let field = *map.field();
-        let mut net = Network::new(field);
+        // Pooled network/transport: a warm pool hands back last run's
+        // structures, reset to the same state a fresh construction yields.
+        let mut net = match pool.net.take() {
+            Some(mut n) => {
+                n.reset(field);
+                n
+            }
+            None => Network::new(field),
+        };
         cfg.link.apply(&mut net);
         net.set_trace(cfg.trace.clone());
-        let mut transport = use_transport.then(|| Transport::new(cfg.link.transport()));
+        let mut transport = if use_transport {
+            Some(match pool.transport.take() {
+                Some(mut t) => {
+                    t.reset(cfg.link.transport());
+                    t
+                }
+                None => Transport::new(cfg.link.transport()),
+            })
+        } else {
+            None
+        };
         // Chaos rides the transport clock, so the fire-and-forget
         // reference path ignores any configured plan (differential tests
         // never combine the two).
         let mut chaos = match (&transport, &cfg.chaos) {
-            (Some(_), Some(plan)) => Some(ChaosEngine::new(plan.clone())),
+            (Some(_), Some(plan)) => Some(ChaosEngine::borrowed(plan)),
             _ => None,
         };
         let mut knowledge = NeighborKnowledge::new();
-        let mut net_of: BTreeMap<usize, NodeId> = BTreeMap::new();
-        let mut sid_of: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for (sid, pos) in map.active_sensors() {
+        // Pooled round-loop buffers, destructured into disjoint `&mut`s so
+        // the borrow checker accepts simultaneous use across the loop.
+        let VoronoiScratch {
+            owners,
+            owners_dirty,
+            dirty,
+            active,
+            owned,
+            decisions,
+            pending,
+            flushed,
+            owners_scratch,
+            nbs_buf,
+            net_of,
+            sid_of,
+            sensors,
+            deficient,
+        } = &mut pool.voro;
+        // Both id spaces are insertion-dense (`add_sensor`/`add_node`
+        // hand out sequential ids), so plain vecs replace the old
+        // `BTreeMap` sid↔nid maps. Sensors inactive at run start (failed
+        // before restoration) get no node; the sentinel is never read
+        // because dead agents neither own points nor place.
+        net_of.clear();
+        net_of.resize(map.n_sensors(), usize::MAX);
+        sid_of.clear();
+        map.active_sensors_into(sensors);
+        for &(sid, pos) in sensors.iter() {
             let nid = net.add_node(pos, cfg.rs, rc);
-            net_of.insert(sid, nid);
-            sid_of.insert(nid, sid);
+            net_of[sid] = nid;
+            debug_assert_eq!(nid, sid_of.len());
+            sid_of.push(sid);
         }
         let initial = map.n_active_sensors();
         let mut out = PlacementOutcome {
@@ -252,25 +361,29 @@ impl VoronoiDecor {
 
         let rc_sq = rc * rc;
         // Per-point ownership cache: `owners[pid]` is the last computed
-        // [`Self::point_owners`] result; an entry goes stale only when a
-        // sensor lands within `rc` of the point. Stale entries sit on the
+        // [`Self::point_owners_into`] result; an entry goes stale only when
+        // a sensor lands within `rc` of the point. Stale entries sit on the
         // `dirty` worklist (with `owners_dirty` as the dedup guard) so a
         // round's recompute cost is proportional to the disturbed area,
         // not the field; `active` tracks the points with any owner at all,
         // which is what the decision phase actually iterates.
-        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); map.n_points()];
-        let mut owners_dirty = vec![true; map.n_points()];
-        let mut dirty: Vec<usize> = (0..map.n_points()).collect();
-        let mut active: BTreeSet<usize> = BTreeSet::new();
-        let mut scratch = OwnersScratch::default();
-        let mut nbs_buf: Vec<NodeId> = Vec::new();
+        for o in owners.iter_mut() {
+            o.clear();
+        }
+        owners.resize_with(map.n_points(), Vec::new);
+        owners_dirty.clear();
+        owners_dirty.resize(map.n_points(), true);
+        dirty.clear();
+        dirty.extend(0..map.n_points());
+        active.clear();
+        active.resize(map.n_points(), false);
         let mut rounds = 0usize;
         while out.placed.len() < cfg.max_new_nodes && rounds < MAX_ROUNDS {
             let round = rounds as u64;
             // Faults due by now land before any decision of this round.
             if let (Some(ch), Some(tr)) = (chaos.as_mut(), transport.as_ref()) {
                 ch.advance_to(&mut net, tr.now());
-                retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                retire_crashed(ch.take_crashed(), map, sid_of, &cfg.invariants);
             }
             if let Some(tr) = transport.as_ref() {
                 cfg.trace.set_time(tr.now());
@@ -291,33 +404,50 @@ impl VoronoiDecor {
                 if !owners_dirty[pid] {
                     continue;
                 }
-                owners[pid] =
-                    Self::point_owners(map, pid, rc, rc_sq, cfg.k, &knowledge, &mut scratch);
+                Self::point_owners_into(
+                    map,
+                    pid,
+                    rc,
+                    rc_sq,
+                    cfg.k,
+                    &knowledge,
+                    owners_scratch,
+                    &mut owners[pid],
+                );
                 owners_dirty[pid] = false;
-                if owners[pid].is_empty() {
-                    active.remove(&pid);
-                } else {
-                    active.insert(pid);
+                active[pid] = !owners[pid].is_empty();
+            }
+            // The ascending-pid scan over `active` visits points in the
+            // same order the old full sweep pushed pids — so each agent's
+            // owned list is byte-identical to the sweep's. The sort then
+            // groups by agent: `(sid, pid)` pairs are unique and were
+            // pushed in ascending-pid order, so the unstable sort yields
+            // exactly the old `BTreeMap`'s (ascending sid, ascending pid)
+            // iteration.
+            owned.clear();
+            for (pid, &has_owner) in active.iter().enumerate() {
+                if has_owner {
+                    for &sid in &owners[pid] {
+                        owned.push((sid, pid));
+                    }
                 }
             }
-            // `active` iterates in ascending pid order — the same order the
-            // old full sweep pushed pids — so each agent's owned list is
-            // byte-identical to the sweep's.
-            let mut owned_deficient: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-            for &pid in &active {
-                for &sid in &owners[pid] {
-                    owned_deficient.entry(sid).or_default().push(pid);
-                }
-            }
+            owned.sort_unstable();
 
             // Each acting agent picks its best owned deficient point.
             // (agent sid, point id, locally-estimated benefit)
-            let mut decisions: Vec<(usize, usize, u64)> = Vec::new();
-            for (&sid, pids) in &owned_deficient {
+            decisions.clear();
+            let mut gi = 0;
+            while gi < owned.len() {
+                let sid = owned[gi].0;
+                let mut gj = gi;
+                while gj < owned.len() && owned[gj].0 == sid {
+                    gj += 1;
+                }
                 let viewer = map.sensor_pos(sid);
                 let hidden = knowledge.hidden_from(sid);
                 let mut best: Option<(usize, u64)> = None;
-                for &pid in pids {
+                for &(_, pid) in &owned[gi..gj] {
                     let b = Self::est_benefit(map, viewer, map.points()[pid], cfg, rc, hidden);
                     if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
                         best = Some((pid, b));
@@ -338,6 +468,7 @@ impl VoronoiDecor {
                     }
                     decisions.push((sid, pid, b));
                 }
+                gi = gj;
             }
 
             // ---- Stall rescue ----
@@ -348,7 +479,7 @@ impl VoronoiDecor {
                     // the next batch and keep the protocol running.
                     if let Some(ch) = chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
                         ch.advance_next_batch(&mut net);
-                        retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                        retire_crashed(ch.take_crashed(), map, sid_of, &cfg.invariants);
                         cfg.trace.emit(TraceEvent::RoundEnd { round, placed: 0 });
                         cfg.trace.emit(TraceEvent::CoverageDelta {
                             below_target: map.count_below(cfg.k) as u64,
@@ -366,7 +497,7 @@ impl VoronoiDecor {
                 // dispatch one sensor out-of-band to the deficient point
                 // nearest an existing agent (or the first one when the
                 // field is empty). Models the paper's bootstrap fallback.
-                let deficient = map.uncovered_ids(cfg.k);
+                map.uncovered_ids_into(cfg.k, deficient);
                 let target = deficient
                     .iter()
                     .copied()
@@ -385,8 +516,10 @@ impl VoronoiDecor {
                     }
                 });
                 let nid = net.add_node(pos, cfg.rs, rc);
-                net_of.insert(sid, nid);
-                sid_of.insert(nid, sid);
+                debug_assert_eq!(sid, net_of.len());
+                net_of.push(nid);
+                debug_assert_eq!(nid, sid_of.len());
+                sid_of.push(sid);
                 out.placed.push(pos);
                 // Out-of-band dispatch: no placing agent, no local estimate.
                 cfg.trace.emit(TraceEvent::SensorPlaced {
@@ -410,16 +543,16 @@ impl VoronoiDecor {
             // ---- Apply phase ----
             // (msg handle, recipient sensor, announced sensor) for every
             // notice handed to the transport this round.
-            let mut pending: Vec<(MsgId, usize, usize)> = Vec::new();
+            pending.clear();
             let placed_before_round = out.placed.len();
-            for &(agent_sid, pid, benefit) in &decisions {
+            for &(agent_sid, pid, benefit) in decisions.iter() {
                 if out.placed.len() >= cfg.max_new_nodes {
                     break;
                 }
                 cfg.invariants.check_placer_alive(
                     "voronoi",
-                    net_of[&agent_sid] as u64,
-                    net.is_alive(net_of[&agent_sid]),
+                    net_of[agent_sid] as u64,
+                    net.is_alive(net_of[agent_sid]),
                 );
                 let pos = map.points()[pid];
                 let new_sid = map.add_sensor(pos, cfg.rs);
@@ -430,8 +563,10 @@ impl VoronoiDecor {
                     }
                 });
                 let new_nid = net.add_node(pos, cfg.rs, rc);
-                net_of.insert(new_sid, new_nid);
-                sid_of.insert(new_nid, new_sid);
+                debug_assert_eq!(new_sid, net_of.len());
+                net_of.push(new_nid);
+                debug_assert_eq!(new_nid, sid_of.len());
+                sid_of.push(new_sid);
                 out.placed.push(pos);
                 cfg.trace.emit(TraceEvent::SensorPlaced {
                     x: pos.x,
@@ -441,17 +576,17 @@ impl VoronoiDecor {
                 });
                 // Placement notice: one unicast per 1-hop neighbor of the
                 // placing agent (traffic grows with rc — Fig. 10).
-                let agent_nid = net_of[&agent_sid];
-                net.neighbors_into(agent_nid, &mut nbs_buf);
+                let agent_nid = net_of[agent_sid];
+                net.neighbors_into(agent_nid, nbs_buf);
                 match transport.as_mut() {
                     Some(tr) => {
-                        for &nb in &nbs_buf {
+                        for &nb in nbs_buf.iter() {
                             let id = tr.send(agent_nid, nb, Message::PlacementNotice { pos });
-                            pending.push((id, sid_of[&nb], new_sid));
+                            pending.push((id, sid_of[nb], new_sid));
                         }
                     }
                     None => {
-                        for &nb in &nbs_buf {
+                        for &nb in nbs_buf.iter() {
                             let _ = net.unicast(agent_nid, nb, Message::PlacementNotice { pos });
                         }
                     }
@@ -460,16 +595,21 @@ impl VoronoiDecor {
             if let Some(tr) = transport.as_mut() {
                 // Under chaos the flush interleaves fault injection with
                 // the retry clock, so crashes land between retransmissions.
-                let flushed = match chaos.as_mut() {
-                    Some(ch) => tr.flush_chaos(&mut net, ch),
-                    None => tr.flush(&mut net),
-                };
-                let outcomes: BTreeMap<MsgId, _> = flushed.into_iter().collect();
-                for (id, recipient_sid, new_sid) in pending {
+                match chaos.as_mut() {
+                    Some(ch) => tr.flush_chaos_into(&mut net, ch, flushed),
+                    None => tr.flush_into(&mut net, flushed),
+                }
+                // Message ids are unique among terminal outcomes, so a
+                // sorted slice + binary search replaces the old per-round
+                // `BTreeMap<MsgId, _>` lookup.
+                flushed.sort_unstable_by_key(|&(id, _)| id);
+                for &(id, recipient_sid, new_sid) in pending.iter() {
                     // A GaveUp notice *may* still have arrived (lost acks
                     // only); the sender cannot tell, so the model takes the
                     // pessimistic branch and treats the recipient as blind.
-                    let delivered = outcomes.get(&id).is_some_and(|o| o.is_delivered());
+                    let delivered = flushed
+                        .binary_search_by_key(&id, |&(mid, _)| mid)
+                        .is_ok_and(|ix| flushed[ix].1.is_delivered());
                     if !delivered {
                         knowledge.hide(recipient_sid, new_sid);
                     }
@@ -483,7 +623,7 @@ impl VoronoiDecor {
                 // Crashes that fired during the flush retire their sensors
                 // before the round closes.
                 if let Some(ch) = chaos.as_mut() {
-                    retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                    retire_crashed(ch.take_crashed(), map, sid_of, &cfg.invariants);
                 }
             }
 
@@ -508,7 +648,7 @@ impl VoronoiDecor {
                 match chaos.as_mut().filter(|ch| !ch.is_exhausted()) {
                     Some(ch) => {
                         ch.advance_next_batch(&mut net);
-                        retire_crashed(ch.take_crashed(), map, &sid_of, &cfg.invariants);
+                        retire_crashed(ch.take_crashed(), map, sid_of, &cfg.invariants);
                     }
                     None => break,
                 }
@@ -542,6 +682,10 @@ impl VoronoiDecor {
             notices_gave_up,
             duplicates_suppressed,
         };
+        pool.net = Some(net);
+        if let Some(t) = transport {
+            pool.transport = Some(t);
+        }
         out
     }
 }
@@ -661,8 +805,8 @@ mod tests {
             let (mut m_cached, cfg) = setup(k, 500, initial, 13);
             let mut m_fresh = m_cached.clone();
             let placer = VoronoiDecor { rc };
-            let a = placer.place_impl(&mut m_cached, &cfg, true, true);
-            let b = placer.place_impl(&mut m_fresh, &cfg, false, true);
+            let a = placer.place_impl(&mut m_cached, &cfg, true, true, &mut SimScratch::new());
+            let b = placer.place_impl(&mut m_fresh, &cfg, false, true, &mut SimScratch::new());
             assert_eq!(a.placed, b.placed, "k={k} initial={initial} rc={rc}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);
@@ -679,8 +823,8 @@ mod tests {
             let (mut m_tr, cfg) = setup(k, 500, initial, 17);
             let mut m_legacy = m_tr.clone();
             let placer = VoronoiDecor { rc };
-            let a = placer.place_impl(&mut m_tr, &cfg, true, true);
-            let b = placer.place_impl(&mut m_legacy, &cfg, true, false);
+            let a = placer.place_impl(&mut m_tr, &cfg, true, true, &mut SimScratch::new());
+            let b = placer.place_impl(&mut m_legacy, &cfg, true, false, &mut SimScratch::new());
             assert_eq!(a.placed, b.placed, "k={k} rc={rc}");
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.fully_covered, b.fully_covered);

@@ -153,21 +153,31 @@ fn cmd_run(args: &CliArgs) -> Result<(), String> {
         }
     };
 
+    // One render buffer per worker thread, reused across every result that
+    // thread reports — steady-state streaming does not allocate a fresh
+    // line string per run.
+    thread_local! {
+        static LINE_BUF: std::cell::RefCell<String> =
+            const { std::cell::RefCell::new(String::new()) };
+    }
     let on_result = |r: &decor_exp::RunResult| {
-        let line = r.to_json();
-        if let Some(j) = &journal {
-            let mut f = j.lock().expect("journal lock");
-            if let Err(e) = writeln!(f, "{line}").and_then(|_| f.flush()) {
-                eprintln!("decor-serve: checkpoint write failed: {e}");
+        LINE_BUF.with(|buf| {
+            let mut line = buf.borrow_mut();
+            r.to_json_into(&mut line);
+            if let Some(j) = &journal {
+                let mut f = j.lock().expect("journal lock");
+                if let Err(e) = writeln!(f, "{line}").and_then(|_| f.flush()) {
+                    eprintln!("decor-serve: checkpoint write failed: {e}");
+                }
             }
-        }
-        if per_run {
-            let mut o = out.lock().expect("out lock");
-            if writeln!(o, "{line}").is_err() {
-                // A closed pipe downstream is not worth killing the
-                // matrix (the checkpoint still records everything).
+            if per_run {
+                let mut o = out.lock().expect("out lock");
+                if writeln!(o, "{line}").is_err() {
+                    // A closed pipe downstream is not worth killing the
+                    // matrix (the checkpoint still records everything).
+                }
             }
-        }
+        });
     };
 
     let outcome = MatrixRunner::new(threads).run_with(

@@ -55,7 +55,10 @@ impl Json {
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Appends [`Json::render`] to `out` — the buffer-reuse form for
+    /// callers that emit many lines (checkpoint journals, `decor-serve`
+    /// streaming output).
+    pub fn render_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),

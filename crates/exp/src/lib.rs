@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation_approx;
+pub mod arena;
 pub mod ascii_plot;
 pub mod cli;
 pub mod common;
@@ -42,11 +43,14 @@ pub mod stats;
 pub mod svg;
 pub mod table;
 
+pub use arena::WorkerArena;
 pub use common::ExpParams;
 pub use runner::{
     aggregate, CellSummary, CheckpointJournal, MatrixOutcome, MatrixRunner, RunnerHooks,
 };
-pub use scenario::{execute_run, RunResult, RunSpec, ScenarioMatrix, ScenarioSpec, Workload};
+pub use scenario::{
+    execute_run, execute_run_in, RunResult, RunSpec, ScenarioMatrix, ScenarioSpec, Workload,
+};
 pub use table::Table;
 
 /// Runs every figure at the given parameters, returning the tables in

@@ -151,6 +151,9 @@ impl MatrixRunner {
                 handles.push(scope.spawn(|_| {
                     let mut local: Vec<(usize, RunResult)> = Vec::new();
                     let mut local_busy = 0u64;
+                    // Each worker owns one arena: after the first run per
+                    // scenario shape, the hot loop reuses its allocations.
+                    let mut arena = crate::arena::WorkerArena::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -166,7 +169,8 @@ impl MatrixRunner {
                             break;
                         }
                         let run = runs[i];
-                        let result = crate::scenario::execute_run(&cells[run.cell], &run);
+                        let result =
+                            crate::scenario::execute_run_in(&cells[run.cell], &run, &mut arena);
                         local_busy += result.wall_ns;
                         if let Some(f) = on_result {
                             f(&result);

@@ -93,7 +93,7 @@ impl BucketBox {
 /// assert!(idx.covers_at_least(Point::new(11.0, 10.0), 4.0, 2));
 /// assert!(!idx.covers_at_least(Point::new(11.0, 10.0), 4.0, 3));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct FrozenGridIndex {
     origin: Point,
     cell: f64,
@@ -111,6 +111,47 @@ pub struct FrozenGridIndex {
     /// `(start, end)` pair per covered row. Rows clipped away at the field
     /// border are stored as empty ranges.
     neigh: Vec<[(u32, u32); 3]>,
+    /// Build-time staging for the input entries; emptied after every
+    /// build, retained so rebuilds reach a zero-allocation steady state.
+    entries_scratch: Vec<(usize, Point)>,
+    /// Build-time per-bucket counts, then placement cursors.
+    cursor_scratch: Vec<u32>,
+}
+
+impl Clone for FrozenGridIndex {
+    fn clone(&self) -> Self {
+        FrozenGridIndex {
+            origin: self.origin,
+            cell: self.cell,
+            nx: self.nx,
+            ny: self.ny,
+            bucket_starts: self.bucket_starts.clone(),
+            xs: self.xs.clone(),
+            ys: self.ys.clone(),
+            ids: self.ids.clone(),
+            boxes: self.boxes.clone(),
+            neigh: self.neigh.clone(),
+            entries_scratch: Vec::new(),
+            cursor_scratch: Vec::new(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Field-wise `clone_from` so the slabs keep their capacity — the
+        // reason `Clone` is hand-written (a derived impl would fall back
+        // to `*self = src.clone()` and reallocate every slab).
+        self.origin = src.origin;
+        self.cell = src.cell;
+        self.nx = src.nx;
+        self.ny = src.ny;
+        self.bucket_starts.clone_from(&src.bucket_starts);
+        self.xs.clone_from(&src.xs);
+        self.ys.clone_from(&src.ys);
+        self.ids.clone_from(&src.ids);
+        self.boxes.clone_from(&src.boxes);
+        self.neigh.clone_from(&src.neigh);
+        // Scratch buffers are build-time only; keep ours.
+    }
 }
 
 impl FrozenGridIndex {
@@ -145,7 +186,77 @@ impl FrozenGridIndex {
     where
         I: IntoIterator<Item = (usize, Point)>,
     {
-        let entries: Vec<(usize, Point)> = points.into_iter().collect();
+        let mut idx = FrozenGridIndex::empty();
+        idx.rebuild_from_parts(origin, cell, nx, ny, points);
+        idx
+    }
+
+    /// The index over no points on a degenerate 1×1 grid — a valid target
+    /// for [`FrozenGridIndex::rebuild_from_points`], or a placeholder in
+    /// reusable scratch state.
+    pub fn empty() -> Self {
+        FrozenGridIndex {
+            origin: Point::ORIGIN,
+            cell: 1.0,
+            nx: 1,
+            ny: 1,
+            bucket_starts: vec![0, 0],
+            xs: Vec::new(),
+            ys: Vec::new(),
+            ids: Vec::new(),
+            boxes: vec![BucketBox::EMPTY],
+            neigh: vec![[(0, 0); 3]],
+            entries_scratch: Vec::new(),
+            cursor_scratch: Vec::new(),
+        }
+    }
+
+    /// In-place twin of [`FrozenGridIndex::from_points`]: rebuilds `self`
+    /// over a new point set (and possibly new geometry), reusing every
+    /// slab allocation. The result is indistinguishable from a freshly
+    /// built index — `from_points` itself routes through this method, so
+    /// there is exactly one build code path.
+    pub fn rebuild_from_points<I>(
+        &mut self,
+        origin: Point,
+        extent: (f64, f64),
+        cell: f64,
+        points: I,
+    ) where
+        I: IntoIterator<Item = (usize, Point)>,
+    {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "bucket edge must be positive"
+        );
+        assert!(
+            extent.0 > 0.0 && extent.1 > 0.0,
+            "index extent must be positive"
+        );
+        let nx = (extent.0 / cell).ceil().max(1.0) as usize;
+        let ny = (extent.1 / cell).ceil().max(1.0) as usize;
+        self.rebuild_from_parts(origin, cell, nx, ny, points);
+    }
+
+    /// The single build path: counting sort into the CSR slabs, reusing
+    /// `self`'s allocations.
+    pub(crate) fn rebuild_from_parts<I>(
+        &mut self,
+        origin: Point,
+        cell: f64,
+        nx: usize,
+        ny: usize,
+        points: I,
+    ) where
+        I: IntoIterator<Item = (usize, Point)>,
+    {
+        self.origin = origin;
+        self.cell = cell;
+        self.nx = nx;
+        self.ny = ny;
+        self.entries_scratch.clear();
+        self.entries_scratch.extend(points);
+        let entries = &self.entries_scratch;
 
         // Counting sort into CSR: one pass to size buckets, one to place.
         let bucket_of = |p: Point| -> usize {
@@ -155,39 +266,48 @@ impl FrozenGridIndex {
             let by = (by.max(0.0) as usize).min(ny - 1);
             by * nx + bx
         };
-        let mut counts = vec![0u32; nx * ny];
-        for &(id, p) in &entries {
+        let counts = &mut self.cursor_scratch;
+        counts.clear();
+        counts.resize(nx * ny, 0);
+        for &(id, p) in entries {
             debug_assert!(p.is_finite(), "cannot index a non-finite point");
             assert!(u32::try_from(id).is_ok(), "id {id} exceeds u32 range");
             counts[bucket_of(p)] += 1;
         }
-        let mut bucket_starts = Vec::with_capacity(nx * ny + 1);
+        self.bucket_starts.clear();
+        self.bucket_starts.reserve(nx * ny + 1);
         let mut acc = 0u32;
-        for &c in &counts {
-            bucket_starts.push(acc);
+        for &c in counts.iter() {
+            self.bucket_starts.push(acc);
             acc += c;
         }
-        bucket_starts.push(acc);
+        self.bucket_starts.push(acc);
         let n = entries.len();
-        let mut xs = vec![0.0; n];
-        let mut ys = vec![0.0; n];
-        let mut ids = vec![0u32; n];
-        let mut boxes = vec![BucketBox::EMPTY; nx * ny];
-        let mut cursor: Vec<u32> = bucket_starts[..nx * ny].to_vec();
-        for &(id, p) in &entries {
+        self.xs.clear();
+        self.xs.resize(n, 0.0);
+        self.ys.clear();
+        self.ys.resize(n, 0.0);
+        self.ids.clear();
+        self.ids.resize(n, 0);
+        self.boxes.clear();
+        self.boxes.resize(nx * ny, BucketBox::EMPTY);
+        // Reuse the counts buffer as the placement cursors.
+        counts.copy_from_slice(&self.bucket_starts[..nx * ny]);
+        for &(id, p) in entries {
             let b = bucket_of(p);
-            let at = cursor[b] as usize;
-            cursor[b] += 1;
-            xs[at] = p.x;
-            ys[at] = p.y;
-            ids[at] = id as u32;
-            boxes[b].grow(p);
+            let at = counts[b] as usize;
+            counts[b] += 1;
+            self.xs[at] = p.x;
+            self.ys[at] = p.y;
+            self.ids[at] = id as u32;
+            self.boxes[b].grow(p);
         }
 
         // Precompute each bucket's 3×3-neighborhood slab ranges: buckets of
         // one row are consecutive in the CSR slab, so the three-bucket span
         // `[bx-1, bx+1]` of a row is one contiguous range.
-        let mut neigh = Vec::with_capacity(nx * ny);
+        self.neigh.clear();
+        self.neigh.reserve(nx * ny);
         for by in 0..ny {
             for bx in 0..nx {
                 let bx0 = bx.saturating_sub(1);
@@ -199,24 +319,15 @@ impl FrozenGridIndex {
                         continue; // stays (0, 0): empty
                     }
                     let row = ry as usize * nx;
-                    rows[slot] = (bucket_starts[row + bx0], bucket_starts[row + bx1 + 1]);
+                    rows[slot] = (
+                        self.bucket_starts[row + bx0],
+                        self.bucket_starts[row + bx1 + 1],
+                    );
                 }
-                neigh.push(rows);
+                self.neigh.push(rows);
             }
         }
-
-        FrozenGridIndex {
-            origin,
-            cell,
-            nx,
-            ny,
-            bucket_starts,
-            xs,
-            ys,
-            ids,
-            boxes,
-            neigh,
-        }
+        self.entries_scratch.clear();
     }
 
     /// Number of stored entries.
@@ -480,6 +591,20 @@ impl GridIndex {
             self.ny(),
             self.iter(),
         )
+    }
+
+    /// In-place twin of [`GridIndex::freeze`]: rebuilds `out` to the
+    /// frozen form of `self`, reusing `out`'s slab allocations. Produces
+    /// a state identical to `freeze()` (both route through the same
+    /// build path).
+    pub fn freeze_into(&self, out: &mut FrozenGridIndex) {
+        out.rebuild_from_parts(
+            self.origin(),
+            self.cell(),
+            self.nx(),
+            self.ny(),
+            self.iter(),
+        );
     }
 }
 

@@ -46,7 +46,7 @@ pub fn query_bucket_edge(r_query: f64, min_dim: f64, n: usize) -> f64 {
 /// assert_eq!(idx.within(Point::new(11.0, 10.0), 4.0), vec![0, 1]);
 /// assert_eq!(idx.count_within(Point::new(90.0, 90.0), 1.0), 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct GridIndex {
     origin: Point,
     cell: f64,
@@ -54,6 +54,31 @@ pub struct GridIndex {
     ny: usize,
     buckets: Vec<Vec<(usize, Point)>>,
     len: usize,
+}
+
+impl Clone for GridIndex {
+    fn clone(&self) -> Self {
+        GridIndex {
+            origin: self.origin,
+            cell: self.cell,
+            nx: self.nx,
+            ny: self.ny,
+            buckets: self.buckets.clone(),
+            len: self.len,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.origin = src.origin;
+        self.cell = src.cell;
+        self.nx = src.nx;
+        self.ny = src.ny;
+        // `Vec<Vec<_>>::clone_from` truncates and element-wise
+        // `clone_from`s, so the bucket table and every surviving bucket
+        // keep their capacity — the point of not deriving `Clone`.
+        self.buckets.clone_from(&src.buckets);
+        self.len = src.len;
+    }
 }
 
 impl GridIndex {
@@ -81,6 +106,33 @@ impl GridIndex {
             buckets: vec![Vec::new(); nx * ny],
             len: 0,
         }
+    }
+
+    /// Reconfigures the index for a (possibly different) region and
+    /// bucket edge, emptying it. Equivalent to replacing `self` with
+    /// [`GridIndex::new`]`(origin, extent, cell)` except that the bucket
+    /// table and surviving buckets keep their allocations, so a reused
+    /// index reaches a steady state with no per-reset allocation.
+    pub fn reset(&mut self, origin: Point, extent: (f64, f64), cell: f64) {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "bucket edge must be positive"
+        );
+        assert!(
+            extent.0 > 0.0 && extent.1 > 0.0,
+            "index extent must be positive"
+        );
+        let nx = (extent.0 / cell).ceil().max(1.0) as usize;
+        let ny = (extent.1 / cell).ceil().max(1.0) as usize;
+        self.origin = origin;
+        self.cell = cell;
+        self.nx = nx;
+        self.ny = ny;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.buckets.resize_with(nx * ny, Vec::new);
+        self.len = 0;
     }
 
     /// Convenience constructor for the DECOR field `[0, side]²` with bucket

@@ -39,7 +39,7 @@ pub use discrepancy::{l2_star_discrepancy, star_discrepancy};
 pub use faure::{faure2d, faure_unit};
 pub use halton::{halton_points, HaltonSequence};
 pub use hammersley::{hammersley_points, hammersley_unit};
-pub use random::{jittered_points, random_points};
+pub use random::{jittered_points, random_points, random_points_into};
 pub use sobol::Sobol2D;
 pub use vdc::{radical_inverse, scrambled_radical_inverse};
 

@@ -18,10 +18,23 @@ pub fn random_unit(n: usize, seed: u64) -> Vec<(f64, f64)> {
 /// This also generates the *initial sensor deployments* of the experiments
 /// ("up to 200 sensor nodes ... on a randomly generated field").
 pub fn random_points(n: usize, field: &Aabb, seed: u64) -> Vec<Point> {
-    random_unit(n, seed)
-        .into_iter()
-        .map(|(u, v)| field.from_unit(u, v))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    random_points_into(n, field, seed, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`random_points`]: clears `out` and refills it
+/// in place, preserving its capacity. Draws the identical RNG stream, so
+/// the contents are bit-equal to a fresh [`random_points`] call — warm
+/// fleet workers rely on that to keep pooled runs deterministic.
+pub fn random_points_into(n: usize, field: &Aabb, seed: u64, out: &mut Vec<Point>) {
+    out.clear();
+    let mut rng = StdRng::seed_from_u64(seed);
+    out.extend((0..n).map(|_| {
+        let u = rng.gen::<f64>();
+        let v = rng.gen::<f64>();
+        field.from_unit(u, v)
+    }));
 }
 
 /// Jittered (stratified) sampling: the unit square is divided into a
@@ -102,6 +115,19 @@ mod tests {
             assert_eq!(pts.len(), 300);
             assert!(pts.iter().all(|&p| field.contains(p)));
         }
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_capacity() {
+        let field = Aabb::new(Point::new(-10.0, 5.0), Point::new(30.0, 45.0));
+        let fresh = random_points(200, &field, 42);
+        let mut buf = Vec::new();
+        random_points_into(200, &field, 42, &mut buf);
+        assert_eq!(buf, fresh);
+        let cap = buf.capacity();
+        random_points_into(150, &field, 7, &mut buf);
+        assert_eq!(buf, random_points(150, &field, 7));
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
     }
 
     #[test]

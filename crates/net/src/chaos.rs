@@ -321,17 +321,33 @@ impl FaultPlan {
 /// placers additionally call it at round boundaries and drain pending
 /// batches when coverage converges while faults are still scheduled.
 #[derive(Clone, Debug)]
-pub struct ChaosEngine {
-    plan: FaultPlan,
+pub struct ChaosEngine<'a> {
+    /// The script, borrowed from its owner where possible (placers hold
+    /// the plan in their config) so attaching chaos to a run does not
+    /// copy the event list.
+    plan: std::borrow::Cow<'a, FaultPlan>,
     cursor: usize,
     crashed: Vec<NodeId>,
 }
 
-impl ChaosEngine {
-    /// An engine at the start of `plan`.
+impl ChaosEngine<'static> {
+    /// An engine at the start of `plan`, taking ownership of it.
     pub fn new(plan: FaultPlan) -> Self {
         ChaosEngine {
-            plan,
+            plan: std::borrow::Cow::Owned(plan),
+            cursor: 0,
+            crashed: Vec::new(),
+        }
+    }
+}
+
+impl<'a> ChaosEngine<'a> {
+    /// An engine at the start of `plan`, borrowing it — the zero-copy
+    /// twin of [`ChaosEngine::new`] for callers that keep the plan alive
+    /// (e.g. a placer's deployment config).
+    pub fn borrowed(plan: &'a FaultPlan) -> Self {
+        ChaosEngine {
+            plan: std::borrow::Cow::Borrowed(plan),
             cursor: 0,
             crashed: Vec::new(),
         }
@@ -377,11 +393,15 @@ impl ChaosEngine {
     }
 
     fn apply_next(&mut self, net: &mut Network) {
-        let ev = self.plan.events[self.cursor].clone();
+        // Borrow the event in place: the only variant with heap payload
+        // (`Partition`) feeds its id list to the network via iterator, so
+        // no per-event clone of the plan's data is needed.
+        let ev = &self.plan.events[self.cursor];
         self.cursor += 1;
         net.trace().set_time(ev.at);
-        match ev.kind {
+        match &ev.kind {
             FaultKind::Crash { node } => {
+                let node = *node;
                 if net.fail_node(node) {
                     self.crashed.push(node);
                 }
@@ -392,35 +412,35 @@ impl ChaosEngine {
                 net.trace().emit(TraceEvent::ChaosPartition {
                     side: side_a.len() as u64,
                 });
-                net.set_partition(side_a);
+                net.set_partition(side_a.iter().copied());
             }
             FaultKind::Heal => {
                 net.heal_partition();
                 net.trace().emit(TraceEvent::ChaosHeal);
             }
             FaultKind::Blackhole { from, to } => {
-                net.set_blackhole(from, to);
+                net.set_blackhole(*from, *to);
                 net.trace().emit(TraceEvent::ChaosBlackhole {
-                    from: from as u64,
-                    to: to as u64,
+                    from: *from as u64,
+                    to: *to as u64,
                 });
             }
             FaultKind::Unblackhole { from, to } => {
-                net.clear_blackhole(from, to);
+                net.clear_blackhole(*from, *to);
                 net.trace().emit(TraceEvent::ChaosUnblackhole {
-                    from: from as u64,
-                    to: to as u64,
+                    from: *from as u64,
+                    to: *to as u64,
                 });
             }
             FaultKind::Latency { extra } => {
-                net.set_extra_latency(extra);
-                net.trace().emit(TraceEvent::ChaosLatency { extra });
+                net.set_extra_latency(*extra);
+                net.trace().emit(TraceEvent::ChaosLatency { extra: *extra });
             }
             FaultKind::Drain { node, amount } => {
-                net.drain_energy(node, amount);
+                net.drain_energy(*node, *amount);
                 net.trace().emit(TraceEvent::ChaosDrain {
-                    node: node as u64,
-                    amount,
+                    node: *node as u64,
+                    amount: *amount,
                 });
             }
         }
@@ -438,53 +458,56 @@ pub fn shrink_plan(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) 
     if !fails(plan) {
         return plan.clone();
     }
-    let mut events = plan.events.clone();
+    // The working set lives inside a `FaultPlan` so every probe borrows
+    // it directly: a candidate chunk is drained into `removed` (capacity
+    // reused across probes) and spliced back when the probe passes.
+    // Removing a slice of a time-sorted list keeps it sorted, so probe
+    // plans never need `FaultPlan::new`'s stable re-sort — the one plan
+    // clone happens here, not once per probe.
+    let mut work = plan.clone();
+    let mut removed: Vec<FaultEvent> = Vec::new();
     let mut n = 2usize;
-    while events.len() >= 2 {
-        let chunk = events.len().div_ceil(n);
+    while work.events.len() >= 2 {
+        let chunk = work.events.len().div_ceil(n);
         let mut reduced = false;
         let mut i = 0;
         while i < n {
             let lo = i * chunk;
-            if lo >= events.len() {
+            if lo >= work.events.len() {
                 break;
             }
-            let hi = (lo + chunk).min(events.len());
-            let complement: Vec<FaultEvent> = events[..lo]
-                .iter()
-                .chain(events[hi..].iter())
-                .cloned()
-                .collect();
+            let hi = (lo + chunk).min(work.events.len());
             i += 1;
-            if complement.is_empty() {
-                continue;
+            if lo == 0 && hi == work.events.len() {
+                continue; // complement would be empty
             }
-            if fails(&FaultPlan::new(complement.clone())) {
-                events = complement;
+            removed.clear();
+            removed.extend(work.events.drain(lo..hi));
+            if fails(&work) {
                 n = n.saturating_sub(1).max(2);
                 reduced = true;
                 break;
             }
+            // Still passing without the chunk: put it back in place.
+            work.events.splice(lo..lo, removed.drain(..));
         }
         if !reduced {
-            if n >= events.len() {
+            if n >= work.events.len() {
                 break;
             }
-            n = (n * 2).min(events.len());
+            n = (n * 2).min(work.events.len());
         }
     }
     // Final 1-minimality pass: drop single events while that still fails.
     let mut i = 0;
-    while events.len() > 1 && i < events.len() {
-        let mut candidate = events.clone();
-        candidate.remove(i);
-        if fails(&FaultPlan::new(candidate.clone())) {
-            events = candidate;
-        } else {
+    while work.events.len() > 1 && i < work.events.len() {
+        let ev = work.events.remove(i);
+        if !fails(&work) {
+            work.events.insert(i, ev);
             i += 1;
         }
     }
-    FaultPlan::new(events)
+    work
 }
 
 #[cfg(test)]

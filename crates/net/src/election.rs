@@ -30,13 +30,21 @@ pub fn elect_random(members: &[NodeId], seed: u64) -> Option<NodeId> {
 /// rounds, which is what equalizes per-node message load in Fig. 10's
 /// "with rotation" numbers.
 pub fn rotation_leader(members: &[NodeId], round: u64) -> Option<NodeId> {
+    rotation_leader_in(members, round, &mut Vec::new())
+}
+
+/// [`rotation_leader`] with a caller-owned sort buffer, so round loops
+/// that elect once per cell per round stay off the allocator. Same
+/// result for any (even dirty) buffer — it is cleared first.
+pub fn rotation_leader_in(members: &[NodeId], round: u64, buf: &mut Vec<NodeId>) -> Option<NodeId> {
     if members.is_empty() {
         return None;
     }
-    let mut sorted = members.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    Some(sorted[(round % sorted.len() as u64) as usize])
+    buf.clear();
+    buf.extend_from_slice(members);
+    buf.sort_unstable();
+    buf.dedup();
+    Some(buf[(round % buf.len() as u64) as usize])
 }
 
 /// The members of a cell that are alive on `net`, in the original order.

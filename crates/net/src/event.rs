@@ -68,6 +68,15 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Returns the queue to its initial state (empty, time zero) while
+    /// keeping the heap's buffer, so a reused queue schedules without
+    /// reallocating.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = 0;
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// Panics when scheduling into the past (`at < now`): discrete-event

@@ -51,7 +51,7 @@ pub mod transport;
 
 pub use chaos::{shrink_plan, ChaosEngine, FaultEvent, FaultKind, FaultPlan};
 pub use detect::{DetectionReport, HeartbeatConfig, HeartbeatSim};
-pub use election::{elect_random, rotation_leader};
+pub use election::{elect_random, rotation_leader, rotation_leader_in};
 pub use energy::EnergyModel;
 pub use event::{EventQueue, Time};
 pub use failure::FailurePlan;

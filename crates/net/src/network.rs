@@ -44,6 +44,18 @@ impl NetStats {
         self.energy.resize(n, 0.0);
     }
 
+    /// Zeroes every counter, keeping the per-node vectors' capacity.
+    fn reset(&mut self) {
+        self.sent.clear();
+        self.received.clear();
+        self.energy.clear();
+        self.total_sent = 0;
+        self.maintenance_sent = 0;
+        self.protocol_sent = 0;
+        self.retries_sent = 0;
+        self.acks_sent = 0;
+    }
+
     /// Messages sent by node `id`.
     pub fn sent_by(&self, id: NodeId) -> u64 {
         self.sent.get(id).copied().unwrap_or(0)
@@ -152,6 +164,27 @@ impl Network {
             blackholes: BTreeSet::new(),
             extra_latency: 0,
         }
+    }
+
+    /// Returns the network to the state of `Network::new(field)` — no
+    /// nodes, perfect medium, default energy model, zeroed counters,
+    /// disabled trace — while keeping the node storage, spatial-index
+    /// buckets, and stats vectors allocated. A reset network behaves
+    /// bit-identically to a freshly constructed one.
+    pub fn reset(&mut self, field: Aabb) {
+        let cell = (field.width().min(field.height()) / 20.0).max(1.0);
+        self.nodes.clear();
+        self.index
+            .reset(field.min, (field.width(), field.height()), cell);
+        self.field = field;
+        self.energy_model = EnergyModel::default();
+        self.loss_rate = 0.0;
+        self.loss_state = 0;
+        self.stats.reset();
+        self.trace = TraceHandle::disabled();
+        self.partition = None;
+        self.blackholes.clear();
+        self.extra_latency = 0;
     }
 
     /// Attaches a trace handle; every subsequent transmission emits

@@ -50,7 +50,7 @@ use crate::messages::Message;
 use crate::network::{Network, SendError};
 use crate::node::NodeId;
 use decor_trace::TraceEvent;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Reliability knobs of the transport layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,6 +165,71 @@ struct Flight {
     done: bool,
 }
 
+/// A map keyed by directed link `(from, to)`, stored as a sorted vec with
+/// binary-search lookups. Same contract as the `BTreeMap` it replaced
+/// (unique keys, key order), but `clear` keeps the backing capacity, so a
+/// pooled transport's per-link state reaches a zero-allocation steady
+/// state instead of rebuilding a tree node per link per run.
+#[derive(Debug)]
+struct LinkMap<V> {
+    entries: Vec<((NodeId, NodeId), V)>,
+}
+
+impl<V> LinkMap<V> {
+    fn new() -> Self {
+        LinkMap {
+            entries: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn idx(&self, link: (NodeId, NodeId)) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&link, |&(k, _)| k)
+    }
+
+    fn get_mut(&mut self, link: (NodeId, NodeId)) -> Option<&mut V> {
+        match self.idx(link) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The value under `link`, inserting `default` first when absent.
+    fn entry_or(&mut self, link: (NodeId, NodeId), default: V) -> &mut V {
+        let i = match self.idx(link) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (link, default));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Set-style insert (for `LinkMap<()>`): true when newly added.
+    fn insert(&mut self, link: (NodeId, NodeId)) -> bool
+    where
+        V: Default,
+    {
+        match self.idx(link) {
+            Ok(_) => false,
+            Err(i) => {
+                self.entries.insert(i, (link, V::default()));
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, link: (NodeId, NodeId)) {
+        if let Ok(i) = self.idx(link) {
+            self.entries.remove(i);
+        }
+    }
+}
+
 /// The reliable-delivery layer. One instance serves any number of links;
 /// per-link state (sequence counters, receiver dedup windows) is keyed by
 /// the directed pair `(from, to)`.
@@ -176,13 +241,20 @@ pub struct Transport {
     cfg: TransportConfig,
     clock: EventQueue<MsgId>,
     flights: Vec<Flight>,
-    next_seq: BTreeMap<(NodeId, NodeId), u64>,
-    /// Receiver-side dedup: seqs already delivered up, per directed link.
-    seen: BTreeMap<(NodeId, NodeId), BTreeSet<u64>>,
+    next_seq: LinkMap<u64>,
+    /// Receiver-side dedup: the latest seq delivered up, per directed
+    /// link. A watermark suffices for a full set because per-link FIFO
+    /// means only the single in-flight (not yet concluded) message ever
+    /// transmits, and flights on a link launch in strictly increasing
+    /// seq order — so arrivals per link are monotone in seq, repeating
+    /// only the current one (retransmissions after a lost ack).
+    seen: LinkMap<u64>,
     /// Directed links with a flight currently in the air.
-    busy: BTreeSet<(NodeId, NodeId)>,
+    busy: LinkMap<()>,
     /// Sends waiting for their link to free up, FIFO per directed link.
-    waiting: BTreeMap<(NodeId, NodeId), VecDeque<MsgId>>,
+    /// Drained entries are kept (an empty queue behaves like an absent
+    /// one) so their deque capacity survives for the next burst.
+    waiting: LinkMap<VecDeque<MsgId>>,
     /// Application-plane deliveries at receivers, in arrival order.
     inbox: Vec<Inbound>,
     finished: Vec<(MsgId, DeliveryOutcome)>,
@@ -198,14 +270,32 @@ impl Transport {
             cfg,
             clock: EventQueue::new(),
             flights: Vec::new(),
-            next_seq: BTreeMap::new(),
-            seen: BTreeMap::new(),
-            busy: BTreeSet::new(),
-            waiting: BTreeMap::new(),
+            next_seq: LinkMap::new(),
+            seen: LinkMap::new(),
+            busy: LinkMap::new(),
+            waiting: LinkMap::new(),
             inbox: Vec::new(),
             finished: Vec::new(),
             stats: TransportStats::default(),
         }
+    }
+
+    /// Returns the transport to the state of `Transport::new(cfg)`,
+    /// keeping the flight vector, event-queue heap, inbox buffers and
+    /// the flat per-link maps allocated. A reset transport behaves
+    /// bit-identically to a freshly constructed one.
+    pub fn reset(&mut self, cfg: TransportConfig) {
+        cfg.validate();
+        self.cfg = cfg;
+        self.clock.reset();
+        self.flights.clear();
+        self.next_seq.clear();
+        self.seen.clear();
+        self.busy.clear();
+        self.waiting.clear();
+        self.inbox.clear();
+        self.finished.clear();
+        self.stats = TransportStats::default();
     }
 
     /// The configured knobs.
@@ -221,7 +311,7 @@ impl Transport {
     /// every earlier message on the same link has reached its terminal
     /// outcome, so retransmissions never reorder the application stream.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> MsgId {
-        let seq_slot = self.next_seq.entry((from, to)).or_insert(0);
+        let seq_slot = self.next_seq.entry_or((from, to), 0);
         let seq = *seq_slot;
         *seq_slot += 1;
         let id = self.flights.len();
@@ -237,7 +327,9 @@ impl Transport {
         if self.busy.insert((from, to)) {
             self.clock.schedule_after(0, id);
         } else {
-            self.waiting.entry((from, to)).or_default().push_back(id);
+            self.waiting
+                .entry_or((from, to), VecDeque::new())
+                .push_back(id);
         }
         id
     }
@@ -246,10 +338,21 @@ impl Transport {
     /// state, then returns the `(handle, outcome)` pairs concluded since
     /// the last flush, in conclusion order.
     pub fn flush(&mut self, net: &mut Network) -> Vec<(MsgId, DeliveryOutcome)> {
+        let mut out = Vec::new();
+        self.flush_into(net, &mut out);
+        out
+    }
+
+    /// [`Transport::flush`] into a caller-owned buffer (cleared first),
+    /// preserving both the buffer's and the internal conclusion list's
+    /// capacity — round loops flush every round, and `mem::take` would
+    /// regrow both from scratch each time.
+    pub fn flush_into(&mut self, net: &mut Network, out: &mut Vec<(MsgId, DeliveryOutcome)>) {
         while let Some((_, id)) = self.clock.pop() {
             self.attempt(net, id);
         }
-        std::mem::take(&mut self.finished)
+        out.clear();
+        out.append(&mut self.finished);
     }
 
     /// Like [`Transport::flush`], but interleaves a [`ChaosEngine`] with
@@ -264,12 +367,26 @@ impl Transport {
         net: &mut Network,
         chaos: &mut ChaosEngine,
     ) -> Vec<(MsgId, DeliveryOutcome)> {
+        let mut out = Vec::new();
+        self.flush_chaos_into(net, chaos, &mut out);
+        out
+    }
+
+    /// [`Transport::flush_chaos`] into a caller-owned buffer (cleared
+    /// first); see [`Transport::flush_into`].
+    pub fn flush_chaos_into(
+        &mut self,
+        net: &mut Network,
+        chaos: &mut ChaosEngine,
+        out: &mut Vec<(MsgId, DeliveryOutcome)>,
+    ) {
         while let Some(t) = self.clock.peek_time() {
             chaos.advance_to(net, t);
             let (_, id) = self.clock.pop().expect("peeked event is poppable");
             self.attempt(net, id);
         }
-        std::mem::take(&mut self.finished)
+        out.clear();
+        out.append(&mut self.finished);
     }
 
     /// Convenience: send one message and drive it to its terminal outcome.
@@ -312,14 +429,13 @@ impl Transport {
         }
         self.finished.push((id, outcome));
         // The link is free again: launch the next queued send, if any.
+        // (The drained waiting entry stays — empty ≡ absent — so its
+        // deque keeps its capacity for the link's next burst.)
         let link = (self.flights[id].from, self.flights[id].to);
-        let next = self.waiting.get_mut(&link).and_then(VecDeque::pop_front);
+        let next = self.waiting.get_mut(link).and_then(VecDeque::pop_front);
         match next {
             Some(next_id) => self.clock.schedule_after(0, next_id),
-            None => {
-                self.waiting.remove(&link);
-                self.busy.remove(&link);
-            }
+            None => self.busy.remove(link),
         }
     }
 
@@ -366,8 +482,22 @@ impl Transport {
         match net.unicast(from, to, msg) {
             Ok(()) => {
                 // Data arrived: deliver up unless this seq was seen before
-                // (retransmission after a lost ack).
-                if self.seen.entry((from, to)).or_default().insert(seq) {
+                // (retransmission after a lost ack). Per-link arrivals are
+                // monotone in seq (see the `seen` field doc), so equality
+                // against the watermark is the full dedup test.
+                let first_arrival = match self.seen.get_mut((from, to)) {
+                    Some(w) if *w == seq => false,
+                    Some(w) => {
+                        debug_assert!(seq > *w, "non-monotone arrival on link");
+                        *w = seq;
+                        true
+                    }
+                    None => {
+                        self.seen.entry_or((from, to), seq);
+                        true
+                    }
+                };
+                if first_arrival {
                     self.inbox.push(Inbound { from, to, seq, msg });
                 } else {
                     self.stats.duplicates_suppressed += 1;

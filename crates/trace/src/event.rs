@@ -213,6 +213,14 @@ impl TraceRecord {
     /// golden-trace fixtures and the differ rely on.
     pub fn canonical(&self) -> String {
         let mut s = String::with_capacity(96);
+        self.canonical_into(&mut s);
+        s
+    }
+
+    /// Appends [`TraceRecord::canonical`] to `s` without allocating an
+    /// intermediate string — the steady-state form for sinks that keep one
+    /// buffer across records.
+    pub fn canonical_into(&self, s: &mut String) {
         let _ = write!(s, "{{\"seq\":{},\"t\":{},\"ev\":\"", self.seq, self.time);
         s.push_str(self.event.kind());
         s.push('"');
@@ -259,9 +267,9 @@ impl TraceRecord {
                 agent,
             } => {
                 let _ = write!(s, ",\"x\":");
-                push_f64(&mut s, *x);
+                push_f64(s, *x);
                 let _ = write!(s, ",\"y\":");
-                push_f64(&mut s, *y);
+                push_f64(s, *y);
                 let _ = write!(s, ",\"benefit\":{benefit},\"agent\":{agent}");
             }
             TraceEvent::RoundBegin { scheme, round } => {
@@ -288,11 +296,10 @@ impl TraceRecord {
             }
             TraceEvent::ChaosDrain { node, amount } => {
                 let _ = write!(s, ",\"node\":{node},\"amount\":");
-                push_f64(&mut s, *amount);
+                push_f64(s, *amount);
             }
         }
         s.push('}');
-        s
     }
 }
 

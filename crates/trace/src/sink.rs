@@ -112,7 +112,9 @@ impl JsonlWriter {
 
 impl TraceSink for JsonlWriter {
     fn record(&mut self, rec: &TraceRecord) {
-        self.text.push_str(&rec.canonical());
+        // Render straight into the accumulated text: one growing buffer,
+        // no per-record intermediate string.
+        rec.canonical_into(&mut self.text);
         self.text.push('\n');
     }
     fn as_any(&self) -> &dyn Any {
