@@ -1,7 +1,7 @@
 //! Deployment configuration shared by all placement algorithms.
 
 use crate::invariants::InvariantChecker;
-use decor_net::FaultPlan;
+use decor_net::{FaultPlan, RotationConfig};
 use decor_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +110,12 @@ pub struct DeploymentConfig {
     /// spikes, and drains land mid-protocol. `None` (the default) leaves
     /// the run untouched; `(scenario, plan)` replays bit-identically.
     pub chaos: Option<FaultPlan>,
+    /// Optional duty-cycled sleep rotation (see `decor_net::rotation` and
+    /// [`crate::rotation`]): nodes agree on disjoint set-k-cover shifts
+    /// in-network and rotate on the transport clock, draining batteries
+    /// per the energy model. `None` (the default) keeps every node always
+    /// on, exactly as before rotation existed.
+    pub rotation: Option<RotationConfig>,
     /// Optional run-time invariant checking (see [`crate::invariants`]).
     /// Disabled by default — every hook is then a branch on `None` and
     /// nothing else. Never affects config equality.
@@ -126,6 +132,7 @@ impl Default for DeploymentConfig {
             link: LinkConfig::default(),
             trace: TraceHandle::disabled(),
             chaos: None,
+            rotation: None,
             invariants: InvariantChecker::disabled(),
         }
     }
@@ -152,6 +159,9 @@ impl DeploymentConfig {
         assert!(self.k >= 1, "coverage requirement k must be at least 1");
         assert!(self.max_new_nodes > 0, "max_new_nodes must be positive");
         self.link.validate();
+        if let Some(rot) = &self.rotation {
+            rot.validate();
+        }
     }
 }
 
@@ -349,6 +359,30 @@ mod tests {
         };
         assert_ne!(plain, chaotic, "the fault plan changes the deployment");
         chaotic.validate();
+    }
+
+    #[test]
+    fn rotation_is_part_of_the_config_and_validated() {
+        let plain = DeploymentConfig::default();
+        let rotating = DeploymentConfig {
+            rotation: Some(RotationConfig::default()),
+            ..DeploymentConfig::default()
+        };
+        assert_ne!(plain, rotating, "duty cycling changes the deployment");
+        rotating.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shift period must be positive")]
+    fn validate_rejects_zero_shift_period() {
+        DeploymentConfig {
+            rotation: Some(RotationConfig {
+                period: 0,
+                ..RotationConfig::default()
+            }),
+            ..DeploymentConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -1,0 +1,742 @@
+//! Multi-day endurance simulation: rotation, drain, death, restoration.
+//!
+//! The lifetime claims of the paper's motivation #3 ("k-coverage leads to
+//! significant energy savings and increases the lifetime for the
+//! network") are only credible if rotation survives contact with the rest
+//! of the system: batteries drain per the energy model on every real
+//! message and awake period, nodes die mid-shift, the heartbeat detector
+//! must tell scheduled sleep from death, and restoration must fold
+//! replacements back into the rotation. [`run_endurance`] runs that whole
+//! loop on one deterministic clock and reports *lifetime to first
+//! unrecoverable coverage loss* — the figure of merit the endurance test
+//! tier compares between rotation and always-on.
+//!
+//! One period of the rotation clock is one heartbeat period `Tc`; within
+//! a period events happen in a fixed order (chaos, disasters, coverage
+//! check, shift transitions, heartbeats, detection, restoration, idle
+//! drain, re-agreement), each sub-step iterating in node-id order — the
+//! run is bit-identical across process runs and worker threads.
+
+use crate::config::DeploymentConfig;
+use crate::coverage::CoverageMap;
+use crate::rotation::agree_shifts;
+use crate::Placer;
+use decor_geom::Disk;
+use decor_net::{
+    silent_too_long, ChaosEngine, Message, Network, NodeId, RotationConfig, ShiftSchedule, Time,
+};
+use decor_trace::TraceEvent;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Endurance scenario knobs, orthogonal to [`DeploymentConfig`] (which
+/// carries the rotation knobs themselves in
+/// [`DeploymentConfig::rotation`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnduranceConfig {
+    /// Duty-cycle the deployment (`true`) or keep every node always on
+    /// (`false`, the baseline the lifetime extension is measured
+    /// against). Both arms use identical energy accounting.
+    pub rotate: bool,
+    /// Total replacement sensors the restoration side may deploy across
+    /// the whole run. 0 (the default) measures pure lifetime: deaths are
+    /// detected but never healed.
+    pub spare_budget: usize,
+    /// Hard cap on simulated periods, so a healthy configuration cannot
+    /// spin forever. A run that reaches it reports
+    /// [`EnduranceReport::ended_by_horizon`].
+    pub max_periods: u64,
+    /// Scripted area failures: at the start of period `.0`, every alive
+    /// node inside disk `.1` dies (the paper's natural disasters, §2.1).
+    pub disasters: Vec<(u64, Disk)>,
+    /// A neighbor is declared dead after this many silent periods (the
+    /// detector's `timeout_periods`, on the same period clock).
+    pub timeout_periods: u32,
+}
+
+impl Default for EnduranceConfig {
+    fn default() -> Self {
+        EnduranceConfig {
+            rotate: true,
+            spare_budget: 0,
+            max_periods: 100_000,
+            disasters: Vec::new(),
+            timeout_periods: 3,
+        }
+    }
+}
+
+/// Outcome of one endurance run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnduranceReport {
+    /// Periods until the first instant where the target coverage became
+    /// unrecoverable (even waking every alive node, with no spares left,
+    /// some point stays under-covered). Equals `max_periods` when the
+    /// horizon ended the run instead.
+    pub lifetime_periods: u64,
+    /// Shifts in the initial agreement (0 or 1 means always-on).
+    pub shifts: usize,
+    /// Heartbeats broadcast across the run.
+    pub heartbeats_sent: u64,
+    /// Alive nodes suspected dead — must be zero: scheduled sleepers are
+    /// protected by the three-state lifecycle and this simulation runs a
+    /// loss-free medium for heartbeats within a period.
+    pub false_positives: u64,
+    /// Timeouts that crossed while the silent neighbor was scheduled
+    /// asleep (each one a false restoration that did not happen).
+    pub sleeping_suppressed: u64,
+    /// Nodes whose battery ran out.
+    pub battery_deaths: usize,
+    /// Nodes killed by scripted disasters.
+    pub disaster_deaths: usize,
+    /// Nodes crashed by the chaos plan.
+    pub chaos_deaths: usize,
+    /// Dead nodes some alive observer actually detected.
+    pub detected_deaths: usize,
+    /// Replacement sensors deployed.
+    pub extra_nodes: usize,
+    /// Periods where the schedule alone under-covered some point and the
+    /// whole network was woken to compensate.
+    pub emergency_periods: u64,
+    /// In-network re-agreements after membership changed.
+    pub reschedules: u64,
+    /// Restoration episodes (placer invocations that placed something).
+    pub restorations: u64,
+    /// `ShiftAssign` transport messages across all agreements.
+    pub assignments_sent: u64,
+    /// True when the horizon, not coverage loss, ended the run.
+    pub ended_by_horizon: bool,
+}
+
+impl EnduranceReport {
+    /// Lifetime ratio of this run over a baseline run (typically rotation
+    /// over always-on).
+    pub fn extension_over(&self, baseline: &EnduranceReport) -> f64 {
+        self.lifetime_periods as f64 / baseline.lifetime_periods.max(1) as f64
+    }
+}
+
+/// State of the incremental per-point coverage bookkeeping.
+struct CoverTable {
+    /// For each map point, the node ids whose disk covers it (sorted).
+    coverers: Vec<Vec<NodeId>>,
+    /// For each map point, how many of its coverers are alive.
+    alive: Vec<u32>,
+}
+
+impl CoverTable {
+    fn build(net: &Network, map: &CoverageMap) -> CoverTable {
+        let coverers: Vec<Vec<NodeId>> = map
+            .points()
+            .iter()
+            .map(|&p| {
+                (0..net.len())
+                    .filter(|&id| net.node(id).covers(p))
+                    .collect()
+            })
+            .collect();
+        let alive = coverers
+            .iter()
+            .map(|c| c.iter().filter(|&&id| net.is_alive(id)).count() as u32)
+            .collect();
+        CoverTable { coverers, alive }
+    }
+
+    fn on_death(&mut self, id: NodeId) {
+        for (pt, cov) in self.coverers.iter().enumerate() {
+            if cov.binary_search(&id).is_ok() {
+                self.alive[pt] -= 1;
+            }
+        }
+    }
+
+    fn on_birth(&mut self, net: &Network, id: NodeId, map: &CoverageMap) {
+        for (pt, &p) in map.points().iter().enumerate() {
+            if net.node(id).covers(p) {
+                self.coverers[pt].push(id);
+                self.alive[pt] += 1;
+            }
+        }
+    }
+
+    fn min_alive(&self) -> u32 {
+        self.alive.iter().copied().min().unwrap_or(u32::MAX)
+    }
+
+    /// Minimum on-duty coverage over all points, where `on_duty`
+    /// answers per node.
+    fn min_awake(&self, on_duty: &[bool]) -> u32 {
+        self.coverers
+            .iter()
+            .map(|cov| cov.iter().filter(|&&id| on_duty[id]).count() as u32)
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+}
+
+/// Runs the endurance loop. `cfg.rotation` supplies the rotation knobs
+/// (defaults apply when `None`); `e` selects the scenario. The map is
+/// mutated: deaths deactivate sensors, restorations add them.
+pub fn run_endurance(
+    map: &mut CoverageMap,
+    placer: &dyn Placer,
+    cfg: &DeploymentConfig,
+    e: &EnduranceConfig,
+) -> EnduranceReport {
+    cfg.validate();
+    let rot = cfg.rotation.unwrap_or_default();
+    rot.validate();
+    assert!(
+        e.timeout_periods >= 2,
+        "timeout must span at least 2 periods"
+    );
+
+    // Mirror the active sensors into a network; node i <-> sensor_of[i].
+    let sensors = map.active_sensors();
+    let mut net = Network::new(*map.field());
+    cfg.link.apply(&mut net);
+    net.set_trace(cfg.trace.clone());
+    let mut sensor_of: Vec<crate::coverage::SensorId> = Vec::with_capacity(sensors.len());
+    for &(sid, pos) in &sensors {
+        net.add_node(pos, cfg.rs, cfg.rc);
+        sensor_of.push(sid);
+    }
+
+    let mut report = EnduranceReport::default();
+    let mut chaos = cfg.chaos.clone().map(ChaosEngine::new);
+    let mut table = CoverTable::build(&net, map);
+
+    // Initial in-network agreement (or the always-on degenerate).
+    let mut epoch = 0u64;
+    let mut schedule = if e.rotate {
+        let agreement = agree_shifts(&mut net, map.points(), &rot, &cfg.link, epoch);
+        report.assignments_sent += agreement.assignments_sent;
+        agreement.schedule
+    } else {
+        ShiftSchedule::always_on(rot.period, net.len())
+    };
+    report.shifts = schedule.n_shifts();
+
+    // Battery book-keeping: radio spend lives in net.stats, idle spend
+    // here; a node dies when their sum reaches its capacity.
+    let mut battery: Vec<f64> = vec![rot.battery; net.len()];
+    let mut idle_spent: Vec<f64> = vec![0.0; net.len()];
+    let mut spent_at_wake: Vec<f64> = vec![0.0; net.len()];
+    let mut last_wake: Vec<Time> = vec![0; net.len()];
+
+    // Watch lists from a t=0 hello exchange (everyone awake at deploy).
+    let mut last_heard: BTreeMap<(NodeId, NodeId), Time> = BTreeMap::new();
+    let mut watch: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for id in net.alive_ids() {
+        let pos = net.node(id).pos;
+        for observer in net.broadcast(id, Message::Hello { pos }) {
+            last_heard.insert((observer, id), 0);
+            watch.entry(observer).or_default().push(id);
+        }
+    }
+
+    let mut was_awake: Vec<bool> = vec![true; net.len()];
+    let mut handled_death: Vec<bool> = vec![false; net.len()];
+    let mut missed: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
+    let mut suspected: BTreeSet<NodeId> = BTreeSet::new();
+    let mut membership_changed = false;
+    let mut prev_shift: Option<usize> = None;
+    let mut disasters = e.disasters.clone();
+    disasters.sort_by_key(|&(p, _)| p);
+    let mut next_disaster = 0usize;
+
+    let mut period = 0u64;
+    let target = rot.target_coverage;
+    loop {
+        if period >= e.max_periods {
+            report.ended_by_horizon = true;
+            report.lifetime_periods = e.max_periods;
+            break;
+        }
+        let now: Time = period * rot.period;
+        cfg.trace.set_time(now);
+
+        // (a) Chaos faults due this period.
+        let mut deaths: Vec<(NodeId, &'static str)> = Vec::new();
+        if let Some(engine) = chaos.as_mut() {
+            engine.advance_to(&mut net, now);
+            for id in engine.take_crashed() {
+                deaths.push((id, "chaos"));
+            }
+        }
+        // (b) Scripted disasters.
+        while next_disaster < disasters.len() && disasters[next_disaster].0 <= period {
+            let disk = disasters[next_disaster].1;
+            for id in net.alive_ids() {
+                if disk.contains(net.node(id).pos) {
+                    net.fail_node(id);
+                    deaths.push((id, "disaster"));
+                }
+            }
+            next_disaster += 1;
+        }
+        for &(id, kind) in &deaths {
+            match kind {
+                "chaos" => report.chaos_deaths += 1,
+                _ => report.disaster_deaths += 1,
+            }
+            table.on_death(id);
+            map.deactivate_sensor(sensor_of[id]);
+            cfg.trace.emit(TraceEvent::NodeFailed { node: id as u64 });
+        }
+
+        // (c) Ground-truth coverage check with escalation. A node is on
+        // duty when alive and its shift is scheduled (unscheduled nodes
+        // are always on).
+        let mut on_duty: Vec<bool> = (0..net.len())
+            .map(|id| net.is_alive(id) && !schedule.is_scheduled_asleep(id, now))
+            .collect();
+        let mut emergency = false;
+        if table.min_awake(&on_duty) < target {
+            if table.min_alive() >= target {
+                // The schedule alone fails but the deployment does not:
+                // wake everyone for this period and re-agree after.
+                report.emergency_periods += 1;
+                membership_changed = true;
+                emergency = true;
+                for (id, duty) in on_duty.iter_mut().enumerate() {
+                    *duty = net.is_alive(id);
+                }
+            } else {
+                // Even everyone awake is not enough: heal or die.
+                let healed = try_restore(
+                    map,
+                    placer,
+                    cfg,
+                    &rot,
+                    &mut net,
+                    &mut sensor_of,
+                    &mut battery,
+                    &mut idle_spent,
+                    &mut spent_at_wake,
+                    &mut last_wake,
+                    &mut was_awake,
+                    &mut handled_death,
+                    &mut table,
+                    &mut schedule,
+                    &mut last_heard,
+                    &mut watch,
+                    &mut report,
+                    e,
+                    now,
+                );
+                if healed && table.min_alive() >= target {
+                    membership_changed = true;
+                    emergency = true;
+                    report.emergency_periods += 1;
+                    on_duty = (0..net.len()).map(|id| net.is_alive(id)).collect();
+                } else {
+                    report.lifetime_periods = period;
+                    break;
+                }
+            }
+        }
+
+        // (d) Shift transitions: trace boundaries, flip radio flags,
+        // charge the sleep-entry drain summary.
+        if schedule.n_shifts() > 1 {
+            let cur = schedule.scheduled_shift(now);
+            if prev_shift != Some(cur) {
+                if let Some(prev) = prev_shift {
+                    cfg.trace.emit(TraceEvent::ShiftEnd { shift: prev as u64 });
+                }
+                let awake = on_duty.iter().filter(|&&a| a).count() as u64;
+                cfg.trace.emit(TraceEvent::ShiftBegin {
+                    shift: cur as u64,
+                    awake,
+                });
+                prev_shift = Some(cur);
+            }
+        }
+        for id in 0..net.len() {
+            if !net.is_alive(id) {
+                continue;
+            }
+            let spent = net.stats.energy_of(id) + idle_spent[id];
+            if on_duty[id] && !was_awake[id] {
+                cfg.trace.emit(TraceEvent::NodeWake { node: id as u64 });
+                last_wake[id] = now;
+                spent_at_wake[id] = spent;
+            } else if !on_duty[id] && was_awake[id] {
+                cfg.trace.emit(TraceEvent::NodeSleep { node: id as u64 });
+                cfg.trace.emit(TraceEvent::BatteryDrain {
+                    node: id as u64,
+                    amount: spent - spent_at_wake[id],
+                });
+            }
+            was_awake[id] = on_duty[id];
+            net.set_sleeping(id, !on_duty[id]);
+        }
+
+        // (e) Heartbeats: every on-duty node beats once, in id order.
+        for (id, &duty) in on_duty.iter().enumerate() {
+            if net.is_alive(id) && duty {
+                let pos = net.node(id).pos;
+                for observer in net.broadcast(id, Message::Heartbeat { pos }) {
+                    last_heard.insert((observer, id), now);
+                }
+                report.heartbeats_sent += 1;
+            }
+        }
+
+        // (f) Detection: on-duty observers scan their watch lists.
+        let mut newly_detected: Vec<(NodeId, NodeId)> = Vec::new();
+        for (id, &duty) in on_duty.iter().enumerate() {
+            if !net.is_alive(id) || !duty {
+                continue;
+            }
+            let Some(neighbors) = watch.get(&id) else {
+                continue;
+            };
+            for &nb in neighbors {
+                let last = last_heard.get(&(id, nb)).copied().unwrap_or(0);
+                // Was the neighbor *expected* to beat this period? Dead
+                // nodes stay on their last schedule, so a dead neighbor
+                // whose shift is on duty is expected — and missed.
+                let expected = emergency || !schedule.is_scheduled_asleep(nb, now);
+                if !expected {
+                    // Scheduled asleep: silence is the plan. A naive
+                    // detector would suspect here; count the suppression.
+                    // Strikes neither accrue nor reset — only on-duty
+                    // periods are evidence either way.
+                    if silent_too_long(now, last, rot.period, e.timeout_periods) {
+                        report.sleeping_suppressed += 1;
+                    }
+                    continue;
+                }
+                if last == now {
+                    missed.insert((id, nb), 0);
+                    continue;
+                }
+                let strikes = missed.entry((id, nb)).or_insert(0);
+                *strikes += 1;
+                if *strikes >= e.timeout_periods {
+                    if net.is_alive(nb) {
+                        if suspected.insert(nb) {
+                            report.false_positives += 1;
+                        }
+                    } else if !handled_death[nb] {
+                        handled_death[nb] = true;
+                        newly_detected.push((id, nb));
+                    }
+                }
+            }
+        }
+        for (observer, nb) in newly_detected {
+            report.detected_deaths += 1;
+            cfg.trace.emit(TraceEvent::HeartbeatMiss {
+                observer: observer as u64,
+                node: nb as u64,
+            });
+            // A detected real failure triggers healing when spares allow.
+            let healed = try_restore(
+                map,
+                placer,
+                cfg,
+                &rot,
+                &mut net,
+                &mut sensor_of,
+                &mut battery,
+                &mut idle_spent,
+                &mut spent_at_wake,
+                &mut last_wake,
+                &mut was_awake,
+                &mut handled_death,
+                &mut table,
+                &mut schedule,
+                &mut last_heard,
+                &mut watch,
+                &mut report,
+                e,
+                now,
+            );
+            if healed {
+                membership_changed = true;
+            }
+        }
+        // Replacements placed by a detection-triggered heal enter awake;
+        // they start paying the awake idle cost this very period.
+        on_duty.resize(net.len(), true);
+
+        // (g) Idle drain and battery deaths. Radio spend already lives in
+        // net.stats; batteries die when the sum crosses capacity.
+        for id in 0..net.len() {
+            if !net.is_alive(id) {
+                continue;
+            }
+            let cost = if on_duty[id] {
+                rot.awake_cost
+            } else {
+                rot.sleep_cost
+            };
+            idle_spent[id] += cost;
+            let spent = net.stats.energy_of(id) + idle_spent[id];
+            if spent >= battery[id] {
+                cfg.trace.emit(TraceEvent::BatteryDrain {
+                    node: id as u64,
+                    amount: spent,
+                });
+                cfg.trace.emit(TraceEvent::NodeFailed { node: id as u64 });
+                net.fail_node(id);
+                table.on_death(id);
+                map.deactivate_sensor(sensor_of[id]);
+                report.battery_deaths += 1;
+                // Deliberately NOT a membership change: the network must
+                // *detect* the silence before it reacts.
+            }
+        }
+
+        // (h) Re-agreement after membership changed (emergency or
+        // restoration): wake everyone, agree afresh, rotate on.
+        if membership_changed && e.rotate {
+            for id in 0..net.len() {
+                net.set_sleeping(id, false);
+            }
+            epoch += 1;
+            let agreement = agree_shifts(&mut net, map.points(), &rot, &cfg.link, epoch);
+            report.assignments_sent += agreement.assignments_sent;
+            schedule = agreement.schedule;
+            report.reschedules += 1;
+            membership_changed = false;
+            prev_shift = None;
+        }
+
+        period += 1;
+    }
+    report
+}
+
+/// Attempts one restoration episode: heals the map with `placer` under
+/// the remaining spare budget and folds any new sensors into the network,
+/// the battery tables, the watch lists, and the rotation. Returns whether
+/// anything was placed.
+#[allow(clippy::too_many_arguments)]
+fn try_restore(
+    map: &mut CoverageMap,
+    placer: &dyn Placer,
+    cfg: &DeploymentConfig,
+    rot: &RotationConfig,
+    net: &mut Network,
+    sensor_of: &mut Vec<crate::coverage::SensorId>,
+    battery: &mut Vec<f64>,
+    idle_spent: &mut Vec<f64>,
+    spent_at_wake: &mut Vec<f64>,
+    last_wake: &mut Vec<Time>,
+    was_awake: &mut Vec<bool>,
+    handled_death: &mut Vec<bool>,
+    table: &mut CoverTable,
+    schedule: &mut ShiftSchedule,
+    last_heard: &mut BTreeMap<(NodeId, NodeId), Time>,
+    watch: &mut BTreeMap<NodeId, Vec<NodeId>>,
+    report: &mut EnduranceReport,
+    e: &EnduranceConfig,
+    now: Time,
+) -> bool {
+    let spares_left = e.spare_budget.saturating_sub(report.extra_nodes);
+    if spares_left == 0 {
+        return false;
+    }
+    let mut rcfg = cfg.clone();
+    rcfg.max_new_nodes = spares_left;
+    // Heal to the deployment's own coverage requirement, not just the
+    // rotation target: a hole patched to bare target coverage caps the
+    // next partition at a single shift and silently collapses the whole
+    // network back to always-on.
+    rcfg.k = cfg.k.max(rot.target_coverage);
+    let outcome = placer.place(map, &rcfg);
+    if outcome.placed.is_empty() {
+        return false;
+    }
+    report.extra_nodes += outcome.placed.len();
+    report.restorations += 1;
+    // The placer registered the sensors in the map; mirror each into the
+    // network and every bookkeeping table, then fold it into the least
+    // loaded shift so the rotation absorbs the replacement.
+    let placed_sids = {
+        let active = map.active_sensors();
+        let known: BTreeSet<crate::coverage::SensorId> = sensor_of.iter().copied().collect();
+        active
+            .into_iter()
+            .filter(|(sid, _)| !known.contains(sid))
+            .collect::<Vec<_>>()
+    };
+    for (sid, pos) in placed_sids {
+        let id = net.add_node(pos, cfg.rs, cfg.rc);
+        sensor_of.push(sid);
+        battery.push(rot.battery);
+        idle_spent.push(0.0);
+        spent_at_wake.push(0.0);
+        last_wake.push(now);
+        was_awake.push(true);
+        handled_death.push(false);
+        table.on_birth(net, id, map);
+        if schedule.n_shifts() > 1 {
+            if let Some(si) = schedule.least_loaded_shift() {
+                schedule.assign(id, si);
+            }
+        }
+        // Replacement introduces itself; hearers start watching it and
+        // it starts watching them (symmetric hello).
+        let heard_by = net.broadcast(id, Message::Hello { pos });
+        for observer in heard_by {
+            last_heard.insert((observer, id), now);
+            watch.entry(observer).or_default().push(id);
+            last_heard.insert((id, observer), now);
+            watch.entry(id).or_default().push(observer);
+        }
+        cfg.trace.emit(TraceEvent::NodeWake { node: id as u64 });
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedGreedy;
+    use decor_geom::{Aabb, Point};
+    use decor_lds::halton_points;
+    use decor_net::FaultPlan;
+
+    fn covered_map(k: u32, n_pts: usize) -> (CoverageMap, DeploymentConfig) {
+        let field = Aabb::square(60.0);
+        let mut cfg = DeploymentConfig::with_k(k);
+        cfg.rotation = Some(RotationConfig::default());
+        let mut map = CoverageMap::new(halton_points(n_pts, &field), &field, &cfg);
+        CentralizedGreedy.place(&mut map, &cfg);
+        assert_eq!(map.count_below(k), 0);
+        (map, cfg)
+    }
+
+    fn quick(rotate: bool) -> EnduranceConfig {
+        EnduranceConfig {
+            rotate,
+            max_periods: 2_000,
+            ..EnduranceConfig::default()
+        }
+    }
+
+    #[test]
+    fn rotation_outlives_always_on() {
+        let run = |rotate: bool| {
+            let (mut map, cfg) = covered_map(3, 250);
+            run_endurance(&mut map, &CentralizedGreedy, &cfg, &quick(rotate))
+        };
+        let on = run(false);
+        let rotated = run(true);
+        assert!(!on.ended_by_horizon, "baseline must actually die");
+        assert!(!rotated.ended_by_horizon, "rotation must actually die");
+        assert!(rotated.shifts > 1, "k=3 deployment must split into shifts");
+        let ext = rotated.extension_over(&on);
+        assert!(
+            ext >= 2.0,
+            "rotation must at least double lifetime: {} vs {} ({ext:.2}x)",
+            rotated.lifetime_periods,
+            on.lifetime_periods
+        );
+    }
+
+    #[test]
+    fn no_false_positives_and_suppression_proves_sleep() {
+        // With S shifts a node sleeps S-1 consecutive periods; a 2-period
+        // timeout guarantees that sleep stretch crosses the would-alarm
+        // threshold even for the 3-shift schedule this deployment yields.
+        let (mut map, cfg) = covered_map(3, 250);
+        let mut e = quick(true);
+        e.timeout_periods = 2;
+        let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &e);
+        assert_eq!(report.false_positives, 0, "sleepers declared dead");
+        assert!(
+            report.sleeping_suppressed > 0,
+            "no timeout ever crossed while asleep — suppression untested"
+        );
+    }
+
+    #[test]
+    fn always_on_never_suppresses() {
+        let (mut map, cfg) = covered_map(3, 250);
+        let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &quick(false));
+        assert_eq!(report.shifts, 0);
+        assert_eq!(report.sleeping_suppressed, 0);
+        assert_eq!(report.false_positives, 0);
+    }
+
+    #[test]
+    fn endurance_is_deterministic() {
+        let run = || {
+            let (mut map, cfg) = covered_map(3, 200);
+            run_endurance(&mut map, &CentralizedGreedy, &cfg, &quick(true))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disaster_kills_and_detection_notices() {
+        // The greedy stacks k co-located sensors per benefit-max point, so
+        // a survivable disaster needs a dense point set (every point keeps
+        // a neighboring stack within rs) and a disk small enough to take
+        // one stack's worth, not a whole neighborhood.
+        let (mut map, cfg) = covered_map(3, 500);
+        let mut e = quick(true);
+        e.disasters = vec![(3, Disk::new(Point::new(30.0, 30.0), 2.0))];
+        let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &e);
+        assert!(report.disaster_deaths > 0, "the disk must hit someone");
+        assert!(
+            report.detected_deaths > 0,
+            "neighbors must notice the silence"
+        );
+        assert_eq!(report.false_positives, 0);
+    }
+
+    #[test]
+    fn spares_heal_a_disaster_and_extend_lifetime() {
+        let run = |spares: usize| {
+            let (mut map, cfg) = covered_map(3, 250);
+            let mut e = quick(true);
+            e.spare_budget = spares;
+            e.disasters = vec![(3, Disk::new(Point::new(30.0, 30.0), 14.0))];
+            run_endurance(&mut map, &CentralizedGreedy, &cfg, &e)
+        };
+        let bare = run(0);
+        let healed = run(60);
+        assert!(healed.extra_nodes > 0, "spares must be spent");
+        assert!(healed.restorations > 0);
+        assert!(healed.reschedules > 0, "replacements re-enter the rotation");
+        assert!(
+            healed.lifetime_periods >= bare.lifetime_periods,
+            "healing cannot shorten life: {} vs {}",
+            healed.lifetime_periods,
+            bare.lifetime_periods
+        );
+    }
+
+    #[test]
+    fn chaos_crashes_count_separately() {
+        let (mut map, mut cfg) = covered_map(3, 250);
+        // Crash two nodes early via the chaos plan.
+        cfg.chaos = Some(FaultPlan::parse("0 crash 0\n1000 crash 7\n").unwrap());
+        let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &quick(true));
+        assert_eq!(report.chaos_deaths, 2);
+        assert_eq!(report.false_positives, 0);
+    }
+
+    #[test]
+    fn horizon_caps_an_immortal_run() {
+        let (mut map, mut cfg) = covered_map(1, 150);
+        // Giant batteries: nobody dies before the horizon.
+        cfg.rotation = Some(RotationConfig {
+            battery: 1e12,
+            ..RotationConfig::default()
+        });
+        let e = EnduranceConfig {
+            max_periods: 50,
+            ..EnduranceConfig::default()
+        };
+        let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &e);
+        assert!(report.ended_by_horizon);
+        assert_eq!(report.lifetime_periods, 50);
+    }
+}

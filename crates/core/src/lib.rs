@@ -31,6 +31,7 @@ pub mod centralized;
 pub mod config;
 pub mod coverage;
 pub mod diagnostics;
+pub mod endurance;
 pub mod engine;
 pub mod grid_scheme;
 pub mod hole_scheme;
@@ -42,6 +43,7 @@ pub mod random_place;
 pub mod redundancy;
 pub mod reliability;
 pub mod restore;
+pub mod rotation;
 pub mod scratch;
 pub mod voronoi_scheme;
 
@@ -51,6 +53,7 @@ pub use centralized::CentralizedGreedy;
 pub use config::{DeploymentConfig, LinkConfig, SchemeKind};
 pub use coverage::{CoverageMap, SensorId};
 pub use diagnostics::DeploymentDiagnostics;
+pub use endurance::{run_endurance, EnduranceConfig, EnduranceReport};
 pub use engine::ShardedBenefitEngine;
 pub use grid_scheme::GridDecor;
 pub use hole_scheme::HoleHealing;
@@ -59,6 +62,7 @@ pub use knowledge::NeighborKnowledge;
 pub use metrics::{MessageStats, PlacementOutcome, TracePoint};
 pub use random_place::RandomPlacement;
 pub use redundancy::redundant_mask;
+pub use rotation::{agree_shifts, ShiftAgreement};
 pub use scratch::SimScratch;
 pub use voronoi_scheme::VoronoiDecor;
 

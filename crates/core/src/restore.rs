@@ -11,7 +11,10 @@ use crate::config::DeploymentConfig;
 use crate::coverage::CoverageMap;
 use crate::metrics::PlacementOutcome;
 use crate::Placer;
-use decor_net::{FailurePlan, HeartbeatConfig, HeartbeatSim, Network, NodeId, Time};
+use decor_net::{
+    FailurePlan, HeartbeatConfig, HeartbeatSim, Network, NodeId, ShiftSchedule, SleepScheduler,
+    Time,
+};
 use decor_trace::TraceEvent;
 
 /// Outcome of one failure-and-restoration episode.
@@ -32,6 +35,15 @@ pub struct RestorationReport {
     pub extra_nodes: usize,
     /// Fraction of points `k`-covered after restoration.
     pub coverage_after_restore: f64,
+    /// Alive nodes the detector suspected dead anyway (false alarms that
+    /// would have triggered pointless restorations). With rotation
+    /// enabled this must stay zero for scheduled sleepers: the pipeline
+    /// consults the sleep schedule before declaring anyone dead.
+    pub false_restorations: usize,
+    /// Timeouts that crossed while the silent neighbor was scheduled
+    /// asleep — each one a restoration the three-state lifecycle
+    /// prevented. Always 0 without `DeploymentConfig::rotation`.
+    pub sleeping_suppressed: u64,
     /// The raw placement outcome of the restoration run.
     pub outcome: PlacementOutcome,
 }
@@ -75,12 +87,27 @@ pub fn fail_and_restore(
     }
     let victims_net = plan.victims(&net);
 
-    let (detected, latency) = match heartbeat {
+    // With rotation configured, detection must run against the sleep
+    // schedule: a node whose shift is off duty is Asleep, not Dead, and
+    // its silence must never be declared a failure. The schedule is the
+    // canonical set-k-cover partition of the pre-failure deployment —
+    // exactly what the in-network agreement (`crate::rotation`) lands on.
+    let schedule: Option<ShiftSchedule> = cfg.rotation.as_ref().and_then(|rot| {
+        rot.validate();
+        let shifts = SleepScheduler::new(rot.target_coverage).shifts(&net, map.points());
+        let n = net.len();
+        (shifts.len() > 1).then(|| ShiftSchedule::new(shifts, rot.period, n))
+    });
+
+    let (detected, latency, false_restorations, sleeping_suppressed) = match heartbeat {
         Some(hb) => {
             let sim = HeartbeatSim::new(hb);
             let fail_at = 4 * hb.period;
             let horizon = fail_at + 40 * hb.period;
-            let report = sim.run(&mut net, &victims_net, fail_at, horizon);
+            let report = match &schedule {
+                Some(sched) => sim.run_scheduled(&mut net, &victims_net, fail_at, horizon, sched),
+                None => sim.run(&mut net, &victims_net, fail_at, horizon),
+            };
             cfg.trace.set_time(fail_at);
             for &v in &victims_net {
                 cfg.trace.emit(TraceEvent::NodeFailed { node: v as u64 });
@@ -100,14 +127,19 @@ pub fn fail_and_restore(
                     node: victim as u64,
                 });
             }
-            (report.first_detection.len(), report.max_latency(fail_at))
+            (
+                report.first_detection.len(),
+                report.max_latency(fail_at),
+                report.false_positives.len(),
+                report.sleeping_suppressed,
+            )
         }
         None => {
             for &v in &victims_net {
                 net.fail_node(v);
                 cfg.trace.emit(TraceEvent::NodeFailed { node: v as u64 });
             }
-            (victims_net.len(), None)
+            (victims_net.len(), None, 0, 0)
         }
     };
 
@@ -126,6 +158,8 @@ pub fn fail_and_restore(
         coverage_after_failure,
         extra_nodes: outcome.placed.len(),
         coverage_after_restore: map.fraction_k_covered(cfg.k),
+        false_restorations,
+        sleeping_suppressed,
         outcome,
     }
 }
@@ -253,6 +287,66 @@ mod tests {
         assert_eq!(report.victims, 0);
         assert_eq!(report.extra_nodes, 0);
         assert_eq!(report.coverage_after_failure, 1.0);
+    }
+
+    #[test]
+    fn sleeping_nodes_cause_zero_false_restorations() {
+        // Regression for the three-state lifecycle: rotation puts whole
+        // shifts to sleep for 4 heartbeat periods — past the 3-period
+        // timeout — so a schedule-blind detector would suspect every
+        // sleeper and trigger restorations for nodes that are fine. The
+        // pipeline must consult the schedule instead: zero false
+        // restorations, and a non-zero suppression count proving the
+        // timeouts genuinely crossed while the nodes slept.
+        let (mut map, mut cfg) = covered_map(3, 500);
+        cfg.rotation = Some(decor_net::RotationConfig {
+            target_coverage: 1,
+            period: 400,
+            ..decor_net::RotationConfig::default()
+        });
+        let plan = FailurePlan::Fraction { frac: 0.0, seed: 0 };
+        let hb = HeartbeatConfig {
+            period: 100,
+            timeout_periods: 3,
+            seed: 8,
+        };
+        let report = fail_and_restore(&mut map, &CentralizedGreedy, &cfg, &plan, Some(hb));
+        assert_eq!(report.victims, 0);
+        assert_eq!(
+            report.false_restorations, 0,
+            "a scheduled sleeper was declared dead"
+        );
+        assert!(
+            report.sleeping_suppressed > 0,
+            "rotation never crossed a timeout — the regression is untested"
+        );
+        assert_eq!(report.extra_nodes, 0, "nothing failed, nothing to place");
+    }
+
+    #[test]
+    fn real_failures_still_restored_under_rotation() {
+        let (mut map, mut cfg) = covered_map(3, 500);
+        cfg.rotation = Some(decor_net::RotationConfig {
+            target_coverage: 1,
+            period: 400,
+            ..decor_net::RotationConfig::default()
+        });
+        let plan = FailurePlan::Fraction {
+            frac: 0.15,
+            seed: 2,
+        };
+        let hb = HeartbeatConfig {
+            period: 100,
+            timeout_periods: 3,
+            seed: 9,
+        };
+        let report = fail_and_restore(&mut map, &CentralizedGreedy, &cfg, &plan, Some(hb));
+        assert!(report.victims > 0);
+        assert_eq!(report.false_restorations, 0);
+        assert_eq!(
+            report.coverage_after_restore, 1.0,
+            "rotation must not block healing"
+        );
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //!                    [--chaos-seed 7 | --chaos-plan plan.txt]
 //! decor-cli restore  --scheme voronoi-big --k 2 --disaster 50,50,24 [--seed 1] ...
 //! decor-cli diagnose --in sensors.csv --k 3 [--points 2000] ...
+//! decor-cli endure   --scheme centralized --k 3 [--rotate 1] [--always-on 1]
+//!                    [--battery 2000] [--awake-cost 1] [--sleep-cost 0.02]
+//!                    [--shift-period 1000] [--spares 0] [--max-periods 100000]
+//!                    [--timeout-periods 3] [--disaster 50,50,8 --disaster-at 5]
+//!                    [--trace-out trace.jsonl]
 //! ```
 
 use decor_core::restore::fail_and_restore;
-use decor_core::{CoverageMap, DeploymentDiagnostics, Placer};
+use decor_core::{run_endurance, CoverageMap, DeploymentDiagnostics, EnduranceConfig, Placer};
 use decor_exp::cli::{
     params_from, parse_args, parse_disaster, parse_scheme, sensors_from_csv, sensors_to_csv,
     write_trace_out,
@@ -117,8 +122,64 @@ fn run() -> Result<(), String> {
             println!("{}", diag.summary());
             Ok(())
         }
+        "endure" => {
+            let scheme = parse_scheme(args.get_or("scheme", "centralized"))?;
+            let mut cfg = cfg;
+            // The endurance loop always duty-cycles unless --always-on;
+            // default knobs apply when --rotate was not given.
+            cfg.rotation = Some(cfg.rotation.unwrap_or_default());
+            let mut map = params.make_map(&cfg, params.initial_nodes, params.base_seed);
+            let placer: Box<dyn Placer> = params.placer(scheme, params.base_seed);
+            placer.place(&mut map, &cfg);
+            let mut e = EnduranceConfig {
+                rotate: args.num_or("always-on", 0u32)? == 0,
+                spare_budget: args.num_or("spares", 0usize)?,
+                max_periods: args.num_or("max-periods", 100_000u64)?,
+                timeout_periods: args.num_or("timeout-periods", 3u32)?,
+                disasters: Vec::new(),
+            };
+            if let Some(spec) = args.flags.get("disaster") {
+                let disk = parse_disaster(spec)?;
+                e.disasters = vec![(args.num_or("disaster-at", 5u64)?, disk)];
+            }
+            let report = run_endurance(&mut map, placer.as_ref(), &cfg, &e);
+            println!(
+                "{} for {} periods ({} shifts{})",
+                if e.rotate { "rotated" } else { "always on" },
+                report.lifetime_periods,
+                report.shifts,
+                if report.ended_by_horizon {
+                    "; horizon reached"
+                } else {
+                    ""
+                }
+            );
+            println!(
+                "deaths: {} battery, {} disaster, {} chaos; {} detected in-network",
+                report.battery_deaths,
+                report.disaster_deaths,
+                report.chaos_deaths,
+                report.detected_deaths
+            );
+            println!(
+                "detector: {} false positives, {} sleeping suppressions",
+                report.false_positives, report.sleeping_suppressed
+            );
+            println!(
+                "rotation: {} reschedules, {} emergency periods, {} assignments sent",
+                report.reschedules, report.emergency_periods, report.assignments_sent
+            );
+            println!(
+                "healing: {} restorations, {} replacement sensors",
+                report.restorations, report.extra_nodes
+            );
+            if let Some(path) = write_trace_out(&args, &cfg)? {
+                println!("wrote trace to {path}");
+            }
+            Ok(())
+        }
         other => Err(format!(
-            "unknown subcommand '{other}' (deploy | restore | diagnose)"
+            "unknown subcommand '{other}' (deploy | restore | diagnose | endure)"
         )),
     }
 }

@@ -7,6 +7,7 @@
 use crate::common::ExpParams;
 use decor_core::{CoverageMap, DeploymentConfig, SchemeKind};
 use decor_geom::{Disk, Point};
+use decor_net::RotationConfig;
 use std::collections::BTreeMap;
 
 /// A parsed command line: subcommand plus `--flag value` options.
@@ -120,7 +121,11 @@ pub fn sensors_from_csv(csv: &str) -> Result<Vec<(Point, f64)>, String> {
 /// fault plan from the seed (replayable: the same seed and scenario give
 /// the same run) and `--chaos-plan <path>` loads one from a replay file
 /// written in `decor_net::FaultPlan`'s text format; both attach the
-/// invariant checker, and giving both is an error.
+/// invariant checker, and giving both is an error. `--rotate <target>`
+/// turns on set-k-cover sleep rotation at that per-shift coverage
+/// target, with battery knobs `--battery`, `--awake-cost`,
+/// `--sleep-cost` and `--shift-period`; the knobs without `--rotate`
+/// are an error (they would silently do nothing).
 pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), String> {
     let loss_pct: u32 = args.num_or("loss", 0u32)?;
     if loss_pct >= 100 {
@@ -157,8 +162,47 @@ pub fn params_from(args: &CliArgs) -> Result<(ExpParams, DeploymentConfig), Stri
             decor_core::InvariantChecker::disabled()
         },
         chaos,
+        rotation: rotation_from(args)?,
     };
     Ok((params, cfg))
+}
+
+/// Resolves the rotation flags into a [`RotationConfig`]. Battery and
+/// shift knobs require `--rotate` so a typo cannot silently fall back to
+/// an always-on run.
+fn rotation_from(args: &CliArgs) -> Result<Option<RotationConfig>, String> {
+    const KNOBS: [&str; 4] = ["battery", "awake-cost", "sleep-cost", "shift-period"];
+    let base = RotationConfig::default();
+    if !args.flags.contains_key("rotate") {
+        if let Some(knob) = KNOBS.iter().find(|k| args.flags.contains_key(**k)) {
+            return Err(format!("flag --{knob} needs --rotate <target>"));
+        }
+        return Ok(None);
+    }
+    let rot = RotationConfig {
+        target_coverage: args.num_or("rotate", base.target_coverage)?,
+        period: args.num_or("shift-period", base.period)?,
+        battery: args.num_or("battery", base.battery)?,
+        awake_cost: args.num_or("awake-cost", base.awake_cost)?,
+        sleep_cost: args.num_or("sleep-cost", base.sleep_cost)?,
+        seed: args.num_or("seed", base.seed)?,
+    };
+    if rot.target_coverage == 0 {
+        return Err("flag --rotate: target coverage must be >= 1".into());
+    }
+    if rot.period == 0 {
+        return Err("flag --shift-period: must be positive".into());
+    }
+    if !(rot.battery > 0.0 && rot.battery.is_finite()) {
+        return Err("flag --battery: must be positive".into());
+    }
+    if !(rot.awake_cost > 0.0 && rot.awake_cost.is_finite()) {
+        return Err("flag --awake-cost: must be positive".into());
+    }
+    if !(rot.sleep_cost >= 0.0 && rot.sleep_cost < rot.awake_cost) {
+        return Err("flag --sleep-cost: sleeping must cost less than waking".into());
+    }
+    Ok(Some(rot))
 }
 
 /// Resolves `--chaos-seed` / `--chaos-plan` into a fault plan. The seeded
@@ -349,6 +393,57 @@ mod tests {
         let a = parse_args(&argv("deploy --chaos-seed 7 --chaos-plan p.txt")).unwrap();
         let err = params_from(&a).unwrap_err();
         assert!(err.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn rotate_flags_build_the_rotation_config() {
+        let a = parse_args(&argv(
+            "endure --rotate 2 --battery 500 --awake-cost 2 --sleep-cost 0.1 --shift-period 750",
+        ))
+        .unwrap();
+        let (_, cfg) = params_from(&a).unwrap();
+        let rot = cfg.rotation.expect("--rotate must attach a config");
+        assert_eq!(rot.target_coverage, 2);
+        assert_eq!(rot.battery, 500.0);
+        assert_eq!(rot.awake_cost, 2.0);
+        assert_eq!(rot.sleep_cost, 0.1);
+        assert_eq!(rot.period, 750);
+        // Defaults apply when only the target is given.
+        let a = parse_args(&argv("endure --rotate 1")).unwrap();
+        let (_, cfg) = params_from(&a).unwrap();
+        assert_eq!(cfg.rotation, Some(RotationConfig::default()));
+        // Rotation is opt-in.
+        let plain = parse_args(&argv("deploy")).unwrap();
+        let (_, cfg) = params_from(&plain).unwrap();
+        assert_eq!(cfg.rotation, None);
+    }
+
+    #[test]
+    fn rotation_knobs_without_rotate_are_rejected() {
+        for knob in [
+            "battery 500",
+            "awake-cost 2",
+            "sleep-cost 0.1",
+            "shift-period 9",
+        ] {
+            let a = parse_args(&argv(&format!("endure --{knob}"))).unwrap();
+            let err = params_from(&a).unwrap_err();
+            assert!(err.contains("--rotate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn bad_rotation_values_are_rejected() {
+        for bad in [
+            "endure --rotate 0",
+            "endure --rotate 1 --shift-period 0",
+            "endure --rotate 1 --battery -3",
+            "endure --rotate 1 --awake-cost 0",
+            "endure --rotate 1 --sleep-cost 2",
+        ] {
+            let a = parse_args(&argv(bad)).unwrap();
+            assert!(params_from(&a).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

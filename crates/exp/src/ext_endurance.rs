@@ -1,39 +1,53 @@
-//! Extension — endurance under repeated disasters.
+//! Extension — endurance under rotation, disasters and chaos.
 //!
-//! The paper evaluates a single failure event; a long-lived network
-//! suffers many. This experiment runs `ROUNDS` disaster/restore cycles
-//! (each disaster a disc of radius 16 at a seeded random position) and
-//! tracks whether repeated in-network restoration stays sustainable:
+//! The paper evaluates a single failure event on an always-on network; a
+//! long-lived deployment rotates sleep shifts, drains batteries on every
+//! message, suffers area disasters and node crashes, and heals itself
+//! from a bounded spare budget. This experiment runs the full endurance
+//! loop ([`decor_core::run_endurance`]) twice per replica — duty-cycled
+//! and always-on — over the same deployment, disaster script and chaos
+//! plan, and compares:
 //!
-//! - **extra nodes per cycle** should stay roughly flat — every disaster
-//!   destroys a bounded region, and the restorer only refills that hole;
-//! - **active sensors** should plateau slightly above the single-shot
-//!   deployment size (holes are refilled to the same density), while the
-//!   **cumulative** count grows linearly with the disaster count;
-//! - coverage must return to 100% after every cycle.
+//! - **lifetime to first unrecoverable coverage loss** — rotation must
+//!   outlive always-on by roughly the coverage degree k;
+//! - **false positives** — must be zero: scheduled sleepers are protected
+//!   by the three-state lifecycle, so no battery is ever wasted restoring
+//!   a node that was merely asleep;
+//! - **healing** — the scripted disaster is detected in-network, spares
+//!   refill the hole, and replacements are folded into the rotation
+//!   (reschedules > 0 on the rotating arm).
 
-use crate::common::{deploy, ExpParams};
+use crate::common::{deploy_with, ExpParams};
 use crate::stats::mean;
 use crate::table::Table;
 use decor_core::parallel::run_replicas;
-use decor_core::restore::fail_and_restore;
-use decor_core::SchemeKind;
+use decor_core::{run_endurance, EnduranceConfig, EnduranceReport, SchemeKind};
 use decor_geom::{Disk, Point};
 use decor_lds::vdc::splitmix64;
-use decor_net::FailurePlan;
+use decor_net::{FaultPlan, RotationConfig};
 
-/// Disaster/restore cycles simulated.
-pub const ROUNDS: usize = 8;
+/// Coverage requirement of the study (the ISSUE's acceptance point).
+pub const K: u32 = 3;
 
-/// Disaster disc radius (smaller than §4.2's 24 so repeated events stay
-/// local).
-pub const DISASTER_R: f64 = 16.0;
+/// Disaster disc radius — local enough that the spare budget can refill
+/// the hole in one restoration episode.
+pub const DISASTER_R: f64 = 8.0;
 
-/// A deterministic disaster center for cycle `i`.
-pub fn disaster_center(params: &ExpParams, seed: u64, i: usize) -> Point {
-    let a = splitmix64(seed ^ (i as u64) << 16);
+/// The period the scripted disaster strikes at.
+pub const DISASTER_PERIOD: u64 = 5;
+
+/// Replacement sensors the restoration side may spend per run.
+pub const SPARES: usize = 80;
+
+/// Horizon cap (both arms die well before this under default batteries).
+pub const MAX_PERIODS: u64 = 5_000;
+
+/// A deterministic disaster center for replica `seed`, kept away from
+/// the field border so the disc stays inside.
+pub fn disaster_center(params: &ExpParams, seed: u64) -> Point {
+    let a = splitmix64(seed ^ 0xD15A);
     let b = splitmix64(a);
-    let margin = DISASTER_R * 0.5;
+    let margin = DISASTER_R;
     let span = params.field_side - 2.0 * margin;
     Point::new(
         margin + (a >> 11) as f64 / (1u64 << 53) as f64 * span,
@@ -41,47 +55,77 @@ pub fn disaster_center(params: &ExpParams, seed: u64, i: usize) -> Point {
     )
 }
 
-/// Runs the endurance study with the Voronoi (big rc) scheme at k = 2.
-/// Columns: cycle, extra nodes this cycle, active sensors, cumulative
-/// sensors, coverage % after restore.
+/// One replica: runs both arms on identically-built deployments and the
+/// same disaster/chaos script.
+pub fn endurance_pair(params: &ExpParams, seed: u64) -> (EnduranceReport, EnduranceReport) {
+    let arm = |rotate: bool| {
+        let (mut map, _, cfg) = deploy_with(params, SchemeKind::Centralized, K, seed, |cfg| {
+            cfg.rotation = Some(RotationConfig::default());
+            // One early crash, scripted on the transport tick clock.
+            cfg.chaos = Some(FaultPlan::parse("2000 crash 1\n").expect("literal plan parses"));
+        });
+        let e = EnduranceConfig {
+            rotate,
+            spare_budget: SPARES,
+            max_periods: MAX_PERIODS,
+            disasters: vec![(
+                DISASTER_PERIOD,
+                Disk::new(disaster_center(params, seed), DISASTER_R),
+            )],
+            ..EnduranceConfig::default()
+        };
+        run_endurance(&mut map, &decor_core::CentralizedGreedy, &cfg, &e)
+    };
+    (arm(false), arm(true))
+}
+
+/// Runs the endurance study. One row per arm (always-on first), columns
+/// averaged over the replicas.
 pub fn run(params: &ExpParams) -> Table {
     let mut t = Table::new(
         "ext_endurance",
-        format!("{ROUNDS} disaster/restore cycles (Voronoi big rc, k=2, disc r={DISASTER_R})"),
+        format!("Endurance with disaster (r={DISASTER_R}) + chaos crash, spares={SPARES}, k={K}"),
         vec![
-            "cycle".into(),
+            "rotating".into(),
+            "lifetime_periods".into(),
+            "battery_deaths".into(),
+            "disaster_deaths".into(),
+            "chaos_deaths".into(),
+            "detected_deaths".into(),
+            "sleeping_suppressed".into(),
+            "false_positives".into(),
+            "restorations".into(),
             "extra_nodes".into(),
-            "active_sensors".into(),
-            "cumulative_sensors".into(),
-            "coverage_pct".into(),
         ],
     );
-    let k = 2;
-    let scheme = SchemeKind::VoronoiBig;
-    let per_cycle = run_replicas(params.seeds, params.base_seed ^ 0xE7D, |_, seed| {
-        let (mut map, _, cfg) = deploy(params, scheme, k, seed);
-        let mut rows = Vec::with_capacity(ROUNDS);
-        for cycle in 0..ROUNDS {
-            let disk = Disk::new(disaster_center(params, seed, cycle), DISASTER_R);
-            let placer = params.placer(scheme, seed ^ (cycle as u64) << 8);
-            let plan = FailurePlan::Area { disk };
-            let report = fail_and_restore(&mut map, placer.as_ref(), &cfg, &plan, None);
-            rows.push((
-                report.extra_nodes as f64,
-                map.n_active_sensors() as f64,
-                map.n_sensors() as f64,
-                report.coverage_after_restore * 100.0,
-            ));
-        }
-        rows
+    let pairs = run_replicas(params.seeds, params.base_seed ^ 0xE7D, |_, seed| {
+        endurance_pair(params, seed)
     });
-    for cycle in 0..ROUNDS {
+    for (rotating, pick) in [
+        (
+            0.0,
+            Box::new(|p: &(EnduranceReport, EnduranceReport)| p.0.clone())
+                as Box<dyn Fn(&(EnduranceReport, EnduranceReport)) -> EnduranceReport>,
+        ),
+        (
+            1.0,
+            Box::new(|p: &(EnduranceReport, EnduranceReport)| p.1.clone()),
+        ),
+    ] {
+        let arm: Vec<EnduranceReport> = pairs.iter().map(&pick).collect();
+        let col =
+            |f: &dyn Fn(&EnduranceReport) -> f64| mean(&arm.iter().map(f).collect::<Vec<_>>());
         t.push_row(vec![
-            (cycle + 1) as f64,
-            mean(&per_cycle.iter().map(|r| r[cycle].0).collect::<Vec<_>>()),
-            mean(&per_cycle.iter().map(|r| r[cycle].1).collect::<Vec<_>>()),
-            mean(&per_cycle.iter().map(|r| r[cycle].2).collect::<Vec<_>>()),
-            mean(&per_cycle.iter().map(|r| r[cycle].3).collect::<Vec<_>>()),
+            rotating,
+            col(&|r| r.lifetime_periods as f64),
+            col(&|r| r.battery_deaths as f64),
+            col(&|r| r.disaster_deaths as f64),
+            col(&|r| r.chaos_deaths as f64),
+            col(&|r| r.detected_deaths as f64),
+            col(&|r| r.sleeping_suppressed as f64),
+            col(&|r| r.false_positives as f64),
+            col(&|r| r.restorations as f64),
+            col(&|r| r.extra_nodes as f64),
         ]);
     }
     t
@@ -92,51 +136,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn repeated_restoration_is_sustainable() {
+    fn rotation_outlives_always_on_through_disaster_and_chaos() {
         let params = ExpParams::quick();
-        let t = run(&params);
-        assert_eq!(t.rows.len(), ROUNDS);
-        for row in &t.rows {
-            assert_eq!(row[4], 100.0, "every cycle must end fully covered");
-        }
-        // Active sensor count plateaus: the last cycle's active count is
-        // within 40% of the first cycle's (no runaway growth).
-        let first_active = t.rows[0][2];
-        let last_active = t.rows[ROUNDS - 1][2];
+        let (on, rotated) = endurance_pair(&params, params.base_seed);
+        assert!(rotated.shifts > 1, "k=3 must split into shifts");
+        assert_eq!(on.false_positives, 0);
+        assert_eq!(rotated.false_positives, 0, "sleepers declared dead");
         assert!(
-            last_active < first_active * 1.4,
-            "active sensors must plateau: {first_active} -> {last_active}"
+            rotated.sleeping_suppressed > 0,
+            "suppression never exercised"
         );
-        // Cumulative grows monotonically (dead sensors accumulate).
-        for w in t.rows.windows(2) {
-            assert!(w[1][3] >= w[0][3]);
-        }
-        // Per-cycle repair cost stays bounded: max ≤ 4× min over cycles
-        // (positions vary, so some slack).
-        let costs: Vec<f64> = t.rows.iter().map(|r| r[1]).collect();
-        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
-        let min = costs.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
-        assert!(max / min < 6.0, "repair cost unstable: {costs:?}");
+        assert!(rotated.chaos_deaths > 0, "the scripted crash must land");
+        assert!(
+            rotated.extension_over(&on) >= 2.0,
+            "rotation must at least double lifetime: {} vs {}",
+            rotated.lifetime_periods,
+            on.lifetime_periods
+        );
     }
 
     #[test]
-    fn disaster_centers_are_deterministic_and_spread() {
+    fn spares_heal_the_disaster_into_the_rotation() {
         let params = ExpParams::quick();
-        let a = disaster_center(&params, 5, 0);
-        let b = disaster_center(&params, 5, 0);
-        assert_eq!(a, b);
-        let centers: Vec<Point> = (0..ROUNDS)
-            .map(|i| disaster_center(&params, 5, i))
-            .collect();
-        let distinct = centers
-            .iter()
-            .map(|p| (p.x as i64, p.y as i64))
-            .collect::<std::collections::BTreeSet<_>>();
+        let (_, rotated) = endurance_pair(&params, params.base_seed);
+        assert!(rotated.disaster_deaths > 0, "the disc must hit someone");
+        assert!(rotated.restorations > 0, "the hole must be healed");
+        assert!(rotated.extra_nodes > 0, "healing spends spares");
         assert!(
-            distinct.len() >= ROUNDS - 1,
-            "centers must vary: {centers:?}"
+            rotated.reschedules > 0,
+            "replacements must re-enter the rotation"
         );
-        for c in centers {
+    }
+
+    #[test]
+    fn disaster_centers_are_deterministic_and_inside() {
+        let params = ExpParams::quick();
+        let a = disaster_center(&params, 5);
+        assert_eq!(a, disaster_center(&params, 5));
+        for seed in 0..8 {
+            let c = disaster_center(&params, seed);
             assert!(params.field().contains(c));
         }
     }

@@ -3,63 +3,71 @@
 //!
 //! "When k nodes are covering a point, we have the option of putting some
 //! of them to sleep ... k-coverage leads to significant energy savings
-//! and increases the lifetime for the network." We quantify that: deploy
-//! for k, split the deployment into disjoint 1-covering sleep shifts,
-//! duty-cycle them, and measure how much longer 1-coverage survives
-//! compared to leaving every node awake. Expectation: the extension
+//! and increases the lifetime for the network." We quantify that with the
+//! full endurance loop ([`decor_core::run_endurance`]): deploy for k,
+//! agree on disjoint 1-covering shifts in-network, duty-cycle them on the
+//! transport clock with real heartbeat traffic and per-message energy
+//! accounting, and measure *lifetime to first unrecoverable coverage
+//! loss* against the always-on baseline. Expectation: the extension
 //! factor tracks k (each extra layer of coverage becomes another shift).
 
-use crate::common::{deploy, ExpParams};
+use crate::common::{deploy_with, ExpParams};
 use crate::stats::mean;
 use crate::table::Table;
 use decor_core::parallel::run_replicas;
-use decor_core::SchemeKind;
-use decor_geom::Point;
-use decor_net::{Network, SleepScheduler};
+use decor_core::{run_endurance, EnduranceConfig, SchemeKind};
+use decor_net::RotationConfig;
 
 /// The k values swept.
 pub const KS: [u32; 5] = [1, 2, 3, 4, 5];
 
-/// Battery model of the lifetime simulation (abstract units).
-pub const BATTERY: f64 = 60.0;
-/// Energy drained per awake period.
-pub const AWAKE_COST: f64 = 1.0;
-/// Energy drained per sleeping period.
-pub const SLEEP_COST: f64 = 0.02;
+/// Horizon cap: a healthy rotation at the largest k dies well before
+/// this many periods under the default battery.
+pub const MAX_PERIODS: u64 = 5_000;
 
-/// Runs the experiment with the centralized deployment (the scheduler is
-/// scheme-agnostic; centralized gives the tightest deployments, making
-/// the lifetime gain a conservative estimate). Columns: k, shifts
-/// extracted, duty-cycled periods, all-awake periods, extension factor.
+/// One replica of the lifetime study at coverage requirement `k`:
+/// returns (shifts, rotating lifetime, always-on lifetime, extension).
+pub fn lifetime_sample(params: &ExpParams, k: u32, seed: u64) -> (f64, f64, f64, f64) {
+    let arm = |rotate: bool| {
+        let (mut map, _, cfg) = deploy_with(params, SchemeKind::Centralized, k, seed, |cfg| {
+            cfg.rotation = Some(RotationConfig::default());
+        });
+        let e = EnduranceConfig {
+            rotate,
+            max_periods: MAX_PERIODS,
+            ..EnduranceConfig::default()
+        };
+        run_endurance(&mut map, &decor_core::CentralizedGreedy, &cfg, &e)
+    };
+    let on = arm(false);
+    let rotated = arm(true);
+    (
+        rotated.shifts as f64,
+        rotated.lifetime_periods as f64,
+        on.lifetime_periods as f64,
+        rotated.extension_over(&on),
+    )
+}
+
+/// Runs the experiment with the centralized deployment (the endurance
+/// loop is scheme-agnostic; centralized gives the tightest deployments,
+/// making the lifetime gain a conservative estimate). Columns: k, shifts
+/// agreed, rotating lifetime, always-on lifetime, extension factor.
 pub fn run(params: &ExpParams) -> Table {
     let mut t = Table::new(
         "ext_lifetime",
-        "Network lifetime extension from k-coverage sleep scheduling",
+        "Lifetime to first unrecoverable coverage loss: rotation vs always-on",
         vec![
             "k".into(),
             "shifts".into(),
-            "periods_duty_cycled".into(),
-            "periods_all_awake".into(),
+            "periods_rotating".into(),
+            "periods_always_on".into(),
             "extension_factor".into(),
         ],
     );
     for &k in &KS {
         let results = run_replicas(params.seeds, params.base_seed ^ 0x51EE9, |_, seed| {
-            let (map, _, cfg) = deploy(params, SchemeKind::Centralized, k, seed);
-            // Mirror the deployment into a network for the scheduler.
-            let mut net = Network::new(*map.field());
-            for (_, pos) in map.active_sensors() {
-                net.add_node(pos, cfg.rs, cfg.rc);
-            }
-            let pts: Vec<Point> = map.points().to_vec();
-            let report = SleepScheduler::new(1)
-                .simulate_lifetime(&net, &pts, BATTERY, AWAKE_COST, SLEEP_COST);
-            (
-                report.shifts as f64,
-                report.periods_covered as f64,
-                report.baseline_periods as f64,
-                report.extension_factor,
-            )
+            lifetime_sample(params, k, seed)
         });
         t.push_row(vec![
             k as f64,
@@ -81,15 +89,7 @@ mod tests {
         let params = ExpParams::quick();
         let factor = |k: u32| {
             let results = run_replicas(params.seeds, params.base_seed, |_, seed| {
-                let (map, _, cfg) = deploy(&params, SchemeKind::Centralized, k, seed);
-                let mut net = Network::new(*map.field());
-                for (_, pos) in map.active_sensors() {
-                    net.add_node(pos, cfg.rs, cfg.rc);
-                }
-                let pts: Vec<Point> = map.points().to_vec();
-                SleepScheduler::new(1)
-                    .simulate_lifetime(&net, &pts, 30.0, 1.0, 0.02)
-                    .extension_factor
+                lifetime_sample(&params, k, seed).3
             });
             mean(&results)
         };
@@ -100,8 +100,18 @@ mod tests {
             "k=3 extension ({f3:.2}x) must clearly beat k=1 ({f1:.2}x)"
         );
         assert!(
-            f3 >= 1.8,
-            "k=3 should at least ~double lifetime, got {f3:.2}x"
+            f3 >= 2.0,
+            "k=3 should at least double lifetime, got {f3:.2}x"
         );
+    }
+
+    #[test]
+    fn both_arms_die_inside_the_horizon() {
+        let params = ExpParams::quick();
+        let (shifts, rot, on, ext) = lifetime_sample(&params, 3, params.base_seed);
+        assert!(shifts > 1.0, "k=3 must split into shifts, got {shifts}");
+        assert!(on < MAX_PERIODS as f64, "baseline must actually die");
+        assert!(rot < MAX_PERIODS as f64, "rotation must actually die");
+        assert!(ext > 1.0, "rotation must outlive always-on");
     }
 }

@@ -15,6 +15,7 @@ use crate::event::{EventQueue, Time};
 use crate::messages::Message;
 use crate::network::Network;
 use crate::node::NodeId;
+use crate::rotation::ShiftSchedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -56,6 +57,11 @@ pub struct DetectionReport {
     pub false_positives: BTreeMap<NodeId, (Time, NodeId)>,
     /// Heartbeat messages broadcast during the run.
     pub heartbeats_sent: u64,
+    /// Suspicions suppressed because the silent neighbor was scheduled
+    /// asleep by the rotation (see [`crate::rotation`]): the silence
+    /// crossed the timeout, but the three-state lifecycle says `Asleep`,
+    /// not `Dead`, so no alarm was raised. Always 0 without a schedule.
+    pub sleeping_suppressed: u64,
 }
 
 impl DetectionReport {
@@ -90,6 +96,10 @@ enum Ev {
     Check(NodeId),
     /// The failure instant: victims drop out of the network.
     Fail,
+    /// A shift boundary: re-apply the schedule's sleep flags to the
+    /// network. Pre-scheduled before all Beats/Checks so FIFO tie-breaking
+    /// pops it first at an equal tick — a node waking at `t` beats at `t`.
+    Rotate,
 }
 
 /// Discrete-event heartbeat detector simulation.
@@ -123,7 +133,41 @@ impl HeartbeatSim {
         fail_at: Time,
         horizon: Time,
     ) -> DetectionReport {
-        self.run_inner(net, victims, fail_at, horizon, None)
+        self.run_inner(net, victims, fail_at, horizon, None, None)
+    }
+
+    /// Like [`HeartbeatSim::run`], but rotation-aware: nodes scheduled
+    /// asleep by `schedule` pause their heartbeats and checks, observers
+    /// measure a neighbor's silence only across windows where *both* ends
+    /// were scheduled awake, and a timeout crossed while the neighbor is
+    /// asleep is counted in
+    /// [`DetectionReport::sleeping_suppressed`] instead of raising an
+    /// alarm. With an empty or single-shift schedule this is exactly
+    /// [`HeartbeatSim::run`].
+    pub fn run_scheduled(
+        &self,
+        net: &mut Network,
+        victims: &[NodeId],
+        fail_at: Time,
+        horizon: Time,
+        schedule: &ShiftSchedule,
+    ) -> DetectionReport {
+        self.run_inner(net, victims, fail_at, horizon, Some(schedule), None)
+    }
+
+    /// Rotation-aware detection interleaved with a [`ChaosEngine`]
+    /// (combines [`HeartbeatSim::run_scheduled`] and
+    /// [`HeartbeatSim::run_with_chaos`]).
+    pub fn run_scheduled_with_chaos(
+        &self,
+        net: &mut Network,
+        victims: &[NodeId],
+        fail_at: Time,
+        horizon: Time,
+        schedule: &ShiftSchedule,
+        chaos: &mut ChaosEngine,
+    ) -> DetectionReport {
+        self.run_inner(net, victims, fail_at, horizon, Some(schedule), Some(chaos))
     }
 
     /// Like [`HeartbeatSim::run`], but interleaves a [`ChaosEngine`] with
@@ -139,7 +183,7 @@ impl HeartbeatSim {
         horizon: Time,
         chaos: &mut ChaosEngine,
     ) -> DetectionReport {
-        self.run_inner(net, victims, fail_at, horizon, Some(chaos))
+        self.run_inner(net, victims, fail_at, horizon, None, Some(chaos))
     }
 
     fn run_inner(
@@ -148,6 +192,7 @@ impl HeartbeatSim {
         victims: &[NodeId],
         fail_at: Time,
         horizon: Time,
+        schedule: Option<&ShiftSchedule>,
         mut chaos: Option<&mut ChaosEngine>,
     ) -> DetectionReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -165,6 +210,20 @@ impl HeartbeatSim {
             for observer in heard_by {
                 last_heard.insert((observer, id), 0);
                 watch.entry(observer).or_default().push(id);
+            }
+        }
+
+        // Shift boundaries, pre-scheduled before any Beat/Check so the
+        // queue's FIFO tie-break applies the new sleep flags first when a
+        // boundary coincides with a beat. Rotating schedules only: an
+        // always-on schedule must leave the event stream bit-identical to
+        // the schedule-free run.
+        let rotating = schedule.filter(|s| s.n_shifts() > 1);
+        if let Some(sched) = rotating {
+            let mut t = 0;
+            while t <= horizon {
+                q.schedule(t, Ev::Rotate);
+                t += sched.period();
             }
         }
 
@@ -192,20 +251,36 @@ impl HeartbeatSim {
                         net.fail_node(v);
                     }
                 }
+                Ev::Rotate => {
+                    if let Some(sched) = rotating {
+                        sched.apply_sleep_flags(net, now);
+                    }
+                }
                 Ev::Beat(id) => {
                     if !net.is_alive(id) {
                         continue; // dead nodes stop beating — that is the signal
                     }
-                    let pos = net.node(id).pos;
-                    let heard_by = net.broadcast(id, Message::Heartbeat { pos });
-                    report.heartbeats_sent += 1;
-                    for observer in heard_by {
-                        last_heard.insert((observer, id), now);
+                    // A scheduled-asleep node's radio is off: it skips the
+                    // beat but keeps its cadence for the next awake shift.
+                    let asleep = rotating.is_some_and(|s| s.is_scheduled_asleep(id, now));
+                    if !asleep {
+                        let pos = net.node(id).pos;
+                        let heard_by = net.broadcast(id, Message::Heartbeat { pos });
+                        report.heartbeats_sent += 1;
+                        for observer in heard_by {
+                            last_heard.insert((observer, id), now);
+                        }
                     }
                     q.schedule(now + period, Ev::Beat(id));
                 }
                 Ev::Check(id) => {
                     if !net.is_alive(id) {
+                        continue;
+                    }
+                    if rotating.is_some_and(|s| s.is_scheduled_asleep(id, now)) {
+                        // A sleeping observer scans nothing (radio off)
+                        // but keeps its check cadence.
+                        q.schedule(now + period, Ev::Check(id));
                         continue;
                     }
                     if let Some(neighbors) = watch.get(&id) {
@@ -215,8 +290,35 @@ impl HeartbeatSim {
                             // lossy medium this can misfire on alive
                             // neighbors (classified below).
                             let last = last_heard.get(&(id, nb)).copied().unwrap_or(0);
-                            if silent_too_long(now, last, period, self.cfg.timeout_periods) {
-                                detected.entry(nb).or_insert((now, id));
+                            match rotating {
+                                Some(sched) if sched.is_scheduled_asleep(nb, now) => {
+                                    // Three-state lifecycle: the schedule
+                                    // says Asleep, not Dead. Count the
+                                    // would-be alarm, never raise it.
+                                    if silent_too_long(now, last, period, self.cfg.timeout_periods)
+                                    {
+                                        report.sleeping_suppressed += 1;
+                                    }
+                                }
+                                Some(sched) => {
+                                    // Silence only counts across windows
+                                    // where both ends were on duty: a
+                                    // neighbor (or the observer itself)
+                                    // fresh off a sleep shift gets a full
+                                    // timeout before suspicion.
+                                    let eff = last
+                                        .max(sched.last_wake_at(nb, now))
+                                        .max(sched.last_wake_at(id, now));
+                                    if silent_too_long(now, eff, period, self.cfg.timeout_periods) {
+                                        detected.entry(nb).or_insert((now, id));
+                                    }
+                                }
+                                None => {
+                                    if silent_too_long(now, last, period, self.cfg.timeout_periods)
+                                    {
+                                        detected.entry(nb).or_insert((now, id));
+                                    }
+                                }
                             }
                         }
                     }
@@ -528,6 +630,107 @@ mod tests {
             (r.first_detection, r.heartbeats_sent, net.stats.total_sent)
         };
         assert_eq!(plain, chaotic);
+    }
+
+    #[test]
+    fn sleeping_node_is_never_suspected() {
+        // Two alternating shifts, shift period 4 heartbeat periods: every
+        // node is silent for 400-tick stretches — far past the 300-tick
+        // timeout — yet the three-state lifecycle must classify that
+        // silence as Asleep, not Dead: zero false positives, and the
+        // suppression counter proves the timeout actually crossed.
+        use crate::rotation::ShiftSchedule;
+        let mut net = line_network(6, 5.0);
+        let sched = ShiftSchedule::new(vec![vec![0, 2, 4], vec![1, 3, 5]], 400, 6);
+        let sim = HeartbeatSim::new(cfg(31));
+        let report = sim.run_scheduled(&mut net, &[], 100_000, 8_000, &sched);
+        assert!(
+            report.false_positives.is_empty(),
+            "scheduled sleep misread as failure: {report:?}"
+        );
+        assert!(report.first_detection.is_empty());
+        assert!(
+            report.sleeping_suppressed > 0,
+            "the timeout never crossed — the suppression path was not exercised"
+        );
+    }
+
+    #[test]
+    fn dead_node_is_detected_by_its_shift_mates() {
+        // Victim 1 shares shift 0 with its watcher 0: a real failure is
+        // still caught under rotation, during their common awake windows.
+        use crate::rotation::ShiftSchedule;
+        let mut net = line_network(4, 5.0);
+        let sched = ShiftSchedule::new(vec![vec![0, 1], vec![2, 3]], 800, 4);
+        let sim = HeartbeatSim::new(cfg(32));
+        let report = sim.run_scheduled(&mut net, &[1], 100, 20_000, &sched);
+        assert!(
+            report.first_detection.contains_key(&1),
+            "rotation must not mask a real failure: {report:?}"
+        );
+        assert!(report.false_positives.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn fresh_waker_gets_a_full_timeout_window() {
+        // Detection of a same-shift victim can only fire once the shift
+        // has been awake a full timeout: silence accrued while either end
+        // slept is not evidence.
+        use crate::rotation::ShiftSchedule;
+        let mut net = line_network(4, 5.0);
+        let sched = ShiftSchedule::new(vec![vec![0, 1], vec![2, 3]], 800, 4);
+        let sim = HeartbeatSim::new(cfg(33));
+        // Fail during the victim's *off* shift: [800, 1600).
+        let report = sim.run_scheduled(&mut net, &[1], 900, 20_000, &sched);
+        let (t, _) = report.first_detection[&1];
+        assert!(
+            t >= 1600 + 300,
+            "suspected at {t}, before the shift was awake a full timeout"
+        );
+    }
+
+    #[test]
+    fn always_on_schedule_matches_plain_run() {
+        use crate::rotation::ShiftSchedule;
+        let plain = {
+            let mut net = line_network(5, 5.0);
+            let sim = HeartbeatSim::new(cfg(34));
+            let r = sim.run(&mut net, &[2], 500, 5_000);
+            (r.first_detection, r.heartbeats_sent, net.stats.total_sent)
+        };
+        let scheduled = {
+            let mut net = line_network(5, 5.0);
+            let sim = HeartbeatSim::new(cfg(34));
+            let sched = ShiftSchedule::always_on(400, 5);
+            let r = sim.run_scheduled(&mut net, &[2], 500, 5_000, &sched);
+            assert_eq!(r.sleeping_suppressed, 0);
+            (r.first_detection, r.heartbeats_sent, net.stats.total_sent)
+        };
+        assert_eq!(plain, scheduled, "always-on rotation must be a no-op");
+    }
+
+    #[test]
+    fn rotation_halves_the_heartbeat_traffic() {
+        use crate::rotation::ShiftSchedule;
+        let beats = |sched: Option<ShiftSchedule>| {
+            let mut net = line_network(6, 5.0);
+            let sim = HeartbeatSim::new(cfg(35));
+            match sched {
+                Some(s) => sim.run_scheduled(&mut net, &[], 100_000, 20_000, &s),
+                None => sim.run(&mut net, &[], 100_000, 20_000),
+            }
+            .heartbeats_sent
+        };
+        let on = beats(None);
+        let rotated = beats(Some(ShiftSchedule::new(
+            vec![vec![0, 2, 4], vec![1, 3, 5]],
+            400,
+            6,
+        )));
+        assert!(
+            rotated * 2 <= on + 6,
+            "two disjoint shifts must ~halve beats: {rotated} vs {on}"
+        );
     }
 
     #[test]

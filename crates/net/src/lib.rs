@@ -27,7 +27,11 @@
 //! - [`chaos`] — deterministic fault injection: sim-time-ordered
 //!   [`FaultPlan`] scripts (crashes, partitions, blackholes, latency
 //!   spikes, drains), a seeded plan generator, and ddmin plan shrinking;
-//! - [`energy`] — a tx/rx/idle energy model.
+//! - [`energy`] — a tx/rx/idle energy model;
+//! - [`sleep`] / [`rotation`] — set-k-cover sleep shifts (the paper's
+//!   motivation #3) and the runtime rotation state: shift schedules on the
+//!   tick clock, battery knobs, and the awake / scheduled-asleep / dead
+//!   node lifecycle the rotation-aware detector distinguishes.
 //!
 //! Everything is deterministic given explicit seeds; nothing here spawns
 //! threads (parallelism lives in `decor-core::parallel`, across replicas).
@@ -45,12 +49,13 @@ pub mod messages;
 pub mod network;
 pub mod node;
 pub mod reports;
+pub mod rotation;
 pub mod routing;
 pub mod sleep;
 pub mod transport;
 
 pub use chaos::{shrink_plan, ChaosEngine, FaultEvent, FaultKind, FaultPlan};
-pub use detect::{DetectionReport, HeartbeatConfig, HeartbeatSim};
+pub use detect::{silent_too_long, DetectionReport, HeartbeatConfig, HeartbeatSim};
 pub use election::{elect_random, rotation_leader, rotation_leader_in};
 pub use energy::EnergyModel;
 pub use event::{EventQueue, Time};
@@ -59,6 +64,7 @@ pub use messages::Message;
 pub use network::{NetStats, Network, SendError};
 pub use node::{Node, NodeId};
 pub use reports::{collect_reports, sink_near, DeliveryReport};
+pub use rotation::{NodeLifecycle, RotationConfig, ShiftSchedule};
 pub use routing::{greedy_geographic, send_routed, shortest_path};
 pub use sleep::{LifetimeReport, SleepScheduler};
 pub use transport::{DeliveryOutcome, Inbound, MsgId, Transport, TransportConfig, TransportStats};

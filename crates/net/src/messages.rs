@@ -43,6 +43,15 @@ pub enum Message {
         /// Number of placements carried in this report.
         placements: u32,
     },
+    /// The rotation coordinator assigns `node` to sleep shift `shift`
+    /// (see [`crate::rotation`]). Relayed hop-by-hop over the reliable
+    /// transport during shift agreement; rides the protocol plane.
+    ShiftAssign {
+        /// The node being assigned.
+        node: NodeId,
+        /// Its shift index in the agreed rotation.
+        shift: u32,
+    },
     /// Link-layer acknowledgement of a reliably-sent message (see
     /// [`crate::transport`]). Carries the per-link sequence number being
     /// acknowledged. Acks are classified on the *protocol* plane: in this
@@ -67,6 +76,7 @@ impl Message {
             }
             Message::LeaderAnnounce { .. } => 1 + 4 + 8,
             Message::Report { .. } => 1 + 4,
+            Message::ShiftAssign { .. } => 1 + 4 + 4,
             Message::Ack { .. } => 1 + 4,
         }
     }
@@ -80,6 +90,7 @@ impl Message {
             Message::PlacementNotice { .. } => "notice",
             Message::LeaderAnnounce { .. } => "leader",
             Message::Report { .. } => "report",
+            Message::ShiftAssign { .. } => "shift",
             Message::Ack { .. } => "ack",
         }
     }
@@ -109,12 +120,17 @@ mod tests {
                 round: 9,
             },
             Message::Report { placements: 5 },
+            Message::ShiftAssign { node: 4, shift: 1 },
             Message::Ack { seq: 17 },
         ];
         for m in msgs {
             assert!(m.payload_bytes() > 0, "{m:?}");
         }
         assert_eq!(Message::Report { placements: 5 }.payload_bytes(), 5);
+        assert_eq!(
+            Message::ShiftAssign { node: 4, shift: 1 }.payload_bytes(),
+            9
+        );
     }
 
     #[test]
@@ -128,6 +144,7 @@ mod tests {
         }
         .is_maintenance());
         assert!(!Message::Report { placements: 0 }.is_maintenance());
+        assert!(!Message::ShiftAssign { node: 0, shift: 0 }.is_maintenance());
         assert!(!Message::Ack { seq: 0 }.is_maintenance());
     }
 }

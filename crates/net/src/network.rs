@@ -121,6 +121,11 @@ pub enum SendError {
 #[derive(Clone, Debug)]
 pub struct Network {
     nodes: Vec<Node>,
+    /// Scheduled-asleep flags (see [`crate::rotation`]): a sleeping node's
+    /// radio is off — it neither transmits nor receives, but it is *not*
+    /// failed. Default false everywhere, so code that never touches
+    /// rotation sees the historical behavior bit-for-bit.
+    sleeping: Vec<bool>,
     index: GridIndex,
     field: Aabb,
     energy_model: EnergyModel,
@@ -153,6 +158,7 @@ impl Network {
         let cell = (field.width().min(field.height()) / 20.0).max(1.0);
         Network {
             nodes: Vec::new(),
+            sleeping: Vec::new(),
             index: GridIndex::new(field.min, (field.width(), field.height()), cell),
             field,
             energy_model,
@@ -174,6 +180,7 @@ impl Network {
     pub fn reset(&mut self, field: Aabb) {
         let cell = (field.width().min(field.height()) / 20.0).max(1.0);
         self.nodes.clear();
+        self.sleeping.clear();
         self.index
             .reset(field.min, (field.width(), field.height()), cell);
         self.field = field;
@@ -305,9 +312,33 @@ impl Network {
     pub fn add_node(&mut self, pos: Point, rs: f64, rc: f64) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(Node::new(pos, rs, rc));
+        self.sleeping.push(false);
         self.index.insert(id, pos);
         self.stats.grow_to(self.nodes.len());
         id
+    }
+
+    /// Sets node `id`'s scheduled-asleep flag (see [`crate::rotation`]).
+    /// A sleeping node's radio is off: it neither transmits nor receives
+    /// and pays no rx energy, but it stays alive and in the spatial index
+    /// (geometry queries are about positions, not duty state). Total:
+    /// unknown ids are ignored.
+    pub fn set_sleeping(&mut self, id: NodeId, asleep: bool) {
+        if let Some(s) = self.sleeping.get_mut(id) {
+            *s = asleep;
+        }
+    }
+
+    /// Is node `id` scheduled asleep? Dead and unknown nodes read false —
+    /// sleeping is a property of a live radio.
+    pub fn is_sleeping(&self, id: NodeId) -> bool {
+        self.is_alive(id) && self.sleeping.get(id).copied().unwrap_or(false)
+    }
+
+    /// Is node `id` alive *and* on duty (not scheduled asleep)? The
+    /// receiver-side predicate of every transmission.
+    pub fn is_awake(&self, id: NodeId) -> bool {
+        self.is_alive(id) && !self.sleeping.get(id).copied().unwrap_or(false)
     }
 
     /// Number of nodes ever added (alive and failed).
@@ -420,9 +451,16 @@ impl Network {
     }
 
     /// Sends `msg` from `from` to `to`, charging energy and counters.
+    ///
+    /// A scheduled-asleep sender cannot transmit (radio off — reads as
+    /// [`SendError::SenderDown`], like a failed node). A scheduled-asleep
+    /// *receiver* silently misses the frame: the sender still transmits
+    /// and pays (it cannot know the peer's duty state), the frame is
+    /// dropped like a cut link — without consuming the loss stream, so
+    /// rotation-free runs keep their exact packet-loss sequence.
     pub fn unicast(&mut self, from: NodeId, to: NodeId, msg: Message) -> Result<(), SendError> {
         let sender = *self.nodes.get(from).ok_or(SendError::SenderDown)?;
-        if !sender.alive {
+        if !sender.alive || self.sleeping[from] {
             return Err(SendError::SenderDown);
         }
         let receiver = *self.nodes.get(to).ok_or(SendError::ReceiverDown)?;
@@ -452,10 +490,11 @@ impl Network {
             to: to as u64,
             msg: msg.kind(),
         });
-        // A severed link (chaos partition/blackhole) eats the packet after
-        // the sender paid, exactly like a lossy drop — but without drawing
-        // from the loss stream, so runs without chaos faults are unaffected.
-        if self.link_cut(from, to) {
+        // A severed link (chaos partition/blackhole) or a sleeping
+        // receiver eats the packet after the sender paid, exactly like a
+        // lossy drop — but without drawing from the loss stream, so runs
+        // without chaos faults or rotation are unaffected.
+        if self.link_cut(from, to) || self.sleeping[to] {
             self.trace.emit(TraceEvent::MsgDrop {
                 from: from as u64,
                 to: to as u64,
@@ -488,7 +527,7 @@ impl Network {
     /// one reception per receiver.
     pub fn broadcast(&mut self, from: NodeId, msg: Message) -> Vec<NodeId> {
         let sender = match self.nodes.get(from) {
-            Some(n) if n.alive => *n,
+            Some(n) if n.alive && !self.sleeping[from] => *n,
             _ => return Vec::new(),
         };
         let mut receivers = self.index.within(sender.pos, sender.rc);
@@ -510,10 +549,12 @@ impl Network {
             to: u64::MAX,
             msg: msg.kind(),
         });
-        // On a lossy medium each listener drops the frame independently.
+        // On a lossy medium each listener drops the frame independently;
+        // a sleeping listener misses it for free (radio off, no rx
+        // energy, no loss-stream draw).
         let mut heard = Vec::with_capacity(receivers.len());
         for r in receivers {
-            if self.link_cut(from, r) {
+            if self.link_cut(from, r) || self.sleeping[r] {
                 self.trace.emit(TraceEvent::MsgDrop {
                     from: from as u64,
                     to: r as u64,
@@ -867,6 +908,94 @@ mod tests {
         assert_eq!(net.extra_latency(), 16);
         net.set_extra_latency(0);
         assert_eq!(net.extra_latency(), 0);
+    }
+
+    #[test]
+    fn sleeping_receiver_misses_frames_for_free() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.set_sleeping(1, true);
+        assert!(net.is_sleeping(1));
+        assert!(!net.is_awake(1));
+        assert!(net.is_alive(1), "sleeping is not dead");
+        let msg = Message::Heartbeat { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::Lost));
+        assert_eq!(net.stats.sent_by(0), 1, "sender pays regardless");
+        assert_eq!(net.stats.received_by(1), 0);
+        assert_eq!(net.stats.energy_of(1), 0.0, "radio off costs nothing");
+        net.set_sleeping(1, false);
+        assert_eq!(net.unicast(0, 1, msg), Ok(()));
+    }
+
+    #[test]
+    fn sleeping_sender_cannot_transmit() {
+        let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+        net.set_sleeping(0, true);
+        let msg = Message::Heartbeat { pos: Point::ORIGIN };
+        assert_eq!(net.unicast(0, 1, msg), Err(SendError::SenderDown));
+        assert!(net.broadcast(0, msg).is_empty());
+        assert_eq!(net.stats.total_sent, 0);
+    }
+
+    #[test]
+    fn broadcast_skips_sleeping_listeners() {
+        let mut net = net_with(&[(50.0, 50.0), (54.0, 50.0), (50.0, 54.0)], 4.0, 8.0);
+        net.set_sleeping(1, true);
+        let rx = net.broadcast(
+            0,
+            Message::Heartbeat {
+                pos: Point::new(50.0, 50.0),
+            },
+        );
+        assert_eq!(rx, vec![2], "only the awake listener hears");
+        assert_eq!(net.stats.received_by(1), 0);
+    }
+
+    #[test]
+    fn sleeping_does_not_consume_the_loss_stream() {
+        // Frames dropped at a sleeping radio burn no loss draws: after
+        // the node wakes, the loss sequence continues exactly where it
+        // would have without the sleeping-period traffic.
+        let outcomes = |send_while_asleep: bool| {
+            let mut net = net_with(&[(10.0, 10.0), (15.0, 10.0)], 4.0, 8.0);
+            net.set_loss(0.5, 11);
+            if send_while_asleep {
+                net.set_sleeping(1, true);
+                for _ in 0..5 {
+                    assert_eq!(
+                        net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN }),
+                        Err(SendError::Lost)
+                    );
+                }
+                net.set_sleeping(1, false);
+            }
+            (0..16)
+                .map(|_| {
+                    net.unicast(0, 1, Message::Hello { pos: Point::ORIGIN })
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(outcomes(false), outcomes(true));
+    }
+
+    #[test]
+    fn dead_nodes_read_as_not_sleeping() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        net.set_sleeping(0, true);
+        net.fail_node(0);
+        assert!(!net.is_sleeping(0), "sleeping is a live-radio property");
+        assert!(!net.is_awake(0));
+        net.set_sleeping(99, true); // unknown ids ignored
+        assert!(!net.is_sleeping(99));
+    }
+
+    #[test]
+    fn reset_clears_sleep_flags() {
+        let mut net = net_with(&[(10.0, 10.0)], 4.0, 8.0);
+        net.set_sleeping(0, true);
+        net.reset(Aabb::square(100.0));
+        let id = net.add_node(Point::new(10.0, 10.0), 4.0, 8.0);
+        assert!(net.is_awake(id));
     }
 
     #[test]

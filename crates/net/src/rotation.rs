@@ -1,0 +1,391 @@
+//! Shift rotation state for distributed set-k-cover scheduling.
+//!
+//! [`crate::sleep::SleepScheduler`] answers the *combinatorial* question —
+//! how to partition a k-covered deployment into disjoint shifts that each
+//! maintain a coverage target alone (the set-k-cover of Abrams, Goel &
+//! Plotkin). This module holds the *runtime* side of that answer:
+//!
+//! - [`RotationConfig`] — the duty-cycling knobs (shift length on the
+//!   transport tick clock, battery capacity, awake/asleep idle costs);
+//! - [`ShiftSchedule`] — an agreed shift assignment, queryable at any
+//!   simulation instant ("who is scheduled asleep *now*?");
+//! - [`NodeLifecycle`] — the three-state awake / scheduled-asleep / dead
+//!   lifecycle the heartbeat detector needs so that a sleeping node's
+//!   silence is never mistaken for a failure.
+//!
+//! The schedule itself is agreed in-network by `decor-core`'s rotation
+//! agreement (coordinator election + reliable `ShiftAssign` dissemination);
+//! this module only represents the agreed outcome.
+
+use crate::event::Time;
+use crate::network::Network;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Duty-cycled rotation knobs.
+///
+/// Costs are in the same energy units as [`crate::energy::EnergyModel`]
+/// charges per message, so one battery pays for both radio traffic and
+/// idle listening: a node's battery is spent when its cumulative radio
+/// energy (from `Network::stats`) plus its idle cost reaches `battery`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RotationConfig {
+    /// Coverage degree each shift must maintain on its own (usually 1:
+    /// the k-covered deployment splits into ~k 1-covering shifts).
+    pub target_coverage: u32,
+    /// Shift length in ticks of the transport clock. One heartbeat period
+    /// `Tc` equals one shift period: an awake node beats once per period.
+    pub period: Time,
+    /// Battery capacity per node, in energy-model units.
+    pub battery: f64,
+    /// Idle cost per period while awake (listening radio, sensing).
+    pub awake_cost: f64,
+    /// Idle cost per period while scheduled asleep (clock upkeep only).
+    pub sleep_cost: f64,
+    /// Seed for rotation-related jitter (heartbeat phases, agreement
+    /// tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for RotationConfig {
+    fn default() -> Self {
+        // Battery 2000 sustains ~50 always-awake periods for a node with
+        // a handful of neighbors under the default energy model — small
+        // enough that endurance sims finish in test time, large enough
+        // that rotation's multi-x extension is measurable.
+        RotationConfig {
+            target_coverage: 1,
+            period: 1_000,
+            battery: 2_000.0,
+            awake_cost: 1.0,
+            sleep_cost: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+impl RotationConfig {
+    /// Validates the knobs; schedulers and sims call this on entry.
+    pub fn validate(&self) {
+        assert!(self.target_coverage >= 1, "target coverage must be >= 1");
+        assert!(self.period > 0, "shift period must be positive");
+        assert!(
+            self.battery > 0.0 && self.battery.is_finite(),
+            "battery must be positive"
+        );
+        assert!(
+            self.awake_cost > 0.0 && self.awake_cost.is_finite(),
+            "awake cost must be positive"
+        );
+        assert!(
+            self.sleep_cost >= 0.0 && self.sleep_cost < self.awake_cost,
+            "sleeping must cost less than waking"
+        );
+    }
+}
+
+/// The three-state node lifecycle of the rotation-aware detector.
+///
+/// A node that is silent because its shift put it to sleep is *not* a
+/// restoration candidate; only the `Dead` state is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeLifecycle {
+    /// Alive and on duty (its shift is scheduled, or it is unscheduled).
+    Awake,
+    /// Alive but scheduled asleep by the rotation — radio off, heartbeats
+    /// paused, **not** failed.
+    Asleep,
+    /// Failed (crash, chaos fault, or spent battery).
+    Dead,
+}
+
+/// An agreed shift assignment, rotating round-robin on the tick clock.
+///
+/// Shift `s` is on duty during periods `t` with `(t / period) % S == s`.
+/// Nodes not assigned to any shift (`shift_of` = `None`) are treated as
+/// always awake — this covers both the empty schedule (no feasible
+/// partition: everyone stays on) and replacements placed mid-run before
+/// the next agreement folds them in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShiftSchedule {
+    shifts: Vec<Vec<NodeId>>,
+    member_of: Vec<usize>,
+    period: Time,
+}
+
+impl ShiftSchedule {
+    /// Builds a schedule from disjoint shifts over a network of `n_nodes`
+    /// node ids. Panics when a node appears in two shifts or `period` is
+    /// zero.
+    pub fn new(shifts: Vec<Vec<NodeId>>, period: Time, n_nodes: usize) -> Self {
+        assert!(period > 0, "shift period must be positive");
+        let mut member_of = vec![usize::MAX; n_nodes];
+        for (si, shift) in shifts.iter().enumerate() {
+            for &id in shift {
+                assert!(id < n_nodes, "shift member {id} out of range");
+                assert!(
+                    member_of[id] == usize::MAX,
+                    "node {id} assigned to two shifts"
+                );
+                member_of[id] = si;
+            }
+        }
+        ShiftSchedule {
+            shifts,
+            member_of,
+            period,
+        }
+    }
+
+    /// An empty schedule: nobody is ever scheduled asleep (the always-on
+    /// degenerate case).
+    pub fn always_on(period: Time, n_nodes: usize) -> Self {
+        ShiftSchedule::new(Vec::new(), period, n_nodes)
+    }
+
+    /// Number of shifts. 0 or 1 means nobody ever sleeps.
+    pub fn n_shifts(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// The shift length in ticks.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The shifts, each sorted as provided by the scheduler.
+    pub fn shifts(&self) -> &[Vec<NodeId>] {
+        &self.shifts
+    }
+
+    /// Members of shift `si`.
+    pub fn members(&self, si: usize) -> &[NodeId] {
+        &self.shifts[si]
+    }
+
+    /// The shift `id` belongs to, `None` for unscheduled nodes.
+    pub fn shift_of(&self, id: NodeId) -> Option<usize> {
+        match self.member_of.get(id) {
+            Some(&si) if si != usize::MAX => Some(si),
+            _ => None,
+        }
+    }
+
+    /// The shift on duty at tick `now` (0 when there is at most one).
+    pub fn scheduled_shift(&self, now: Time) -> usize {
+        if self.shifts.len() <= 1 {
+            return 0;
+        }
+        ((now / self.period) % self.shifts.len() as Time) as usize
+    }
+
+    /// Is `id` scheduled asleep at tick `now`? Unscheduled nodes and
+    /// single-shift schedules never sleep.
+    pub fn is_scheduled_asleep(&self, id: NodeId, now: Time) -> bool {
+        if self.shifts.len() <= 1 {
+            return false;
+        }
+        match self.shift_of(id) {
+            Some(si) => si != self.scheduled_shift(now),
+            None => false,
+        }
+    }
+
+    /// The start of `id`'s most recent scheduled-awake period at or
+    /// before `now` (0 when it has not had one yet, or never sleeps).
+    ///
+    /// The rotation-aware detector measures silence from
+    /// `max(last_heard, last_wake_at)`: a neighbor that just rotated back
+    /// on duty gets a full timeout window before suspicion.
+    pub fn last_wake_at(&self, id: NodeId, now: Time) -> Time {
+        let s = self.shifts.len() as Time;
+        if s <= 1 {
+            return 0;
+        }
+        let Some(si) = self.shift_of(id) else {
+            return 0;
+        };
+        let cur = now / self.period;
+        let offset = (cur % s + s - si as Time) % s;
+        match cur.checked_sub(offset) {
+            Some(cycle) => cycle * self.period,
+            None => 0, // first awake window still ahead
+        }
+    }
+
+    /// The three-state lifecycle of `id` at tick `now`.
+    pub fn state_of(&self, id: NodeId, now: Time, net: &Network) -> NodeLifecycle {
+        if !net.is_alive(id) {
+            NodeLifecycle::Dead
+        } else if self.is_scheduled_asleep(id, now) {
+            NodeLifecycle::Asleep
+        } else {
+            NodeLifecycle::Awake
+        }
+    }
+
+    /// Folds a replacement node into the rotation: assigns `id` to shift
+    /// `si`, growing the member table as needed. Panics when `id` already
+    /// belongs to a shift or `si` is out of range.
+    pub fn assign(&mut self, id: NodeId, si: usize) {
+        assert!(si < self.shifts.len(), "shift {si} out of range");
+        if id >= self.member_of.len() {
+            self.member_of.resize(id + 1, usize::MAX);
+        }
+        assert!(
+            self.member_of[id] == usize::MAX,
+            "node {id} already assigned"
+        );
+        self.member_of[id] = si;
+        self.shifts[si].push(id);
+        self.shifts[si].sort_unstable();
+    }
+
+    /// The shift with the fewest members (ties: lowest index) — where a
+    /// replacement does the most good.
+    pub fn least_loaded_shift(&self) -> Option<usize> {
+        (0..self.shifts.len()).min_by_key(|&si| self.shifts[si].len())
+    }
+
+    /// Sets every alive node's sleeping flag on `net` per the schedule at
+    /// tick `now`. Dead nodes' flags are cleared (a flag on a corpse is
+    /// meaningless and would survive into a wrong state on revival).
+    pub fn apply_sleep_flags(&self, net: &mut Network, now: Time) {
+        for id in 0..net.len() {
+            let asleep = net.is_alive(id) && self.is_scheduled_asleep(id, now);
+            net.set_sleeping(id, asleep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decor_geom::{Aabb, Point};
+
+    fn sched3() -> ShiftSchedule {
+        // 6 nodes, 3 shifts of 2, period 10.
+        ShiftSchedule::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], 10, 6)
+    }
+
+    #[test]
+    fn default_config_validates() {
+        RotationConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cost less")]
+    fn sleep_dearer_than_awake_rejected() {
+        RotationConfig {
+            sleep_cost: 2.0,
+            awake_cost: 1.0,
+            ..RotationConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn scheduled_shift_rotates_round_robin() {
+        let s = sched3();
+        assert_eq!(s.scheduled_shift(0), 0);
+        assert_eq!(s.scheduled_shift(9), 0);
+        assert_eq!(s.scheduled_shift(10), 1);
+        assert_eq!(s.scheduled_shift(25), 2);
+        assert_eq!(s.scheduled_shift(30), 0);
+    }
+
+    #[test]
+    fn asleep_iff_off_shift() {
+        let s = sched3();
+        assert!(!s.is_scheduled_asleep(0, 5));
+        assert!(s.is_scheduled_asleep(2, 5));
+        assert!(s.is_scheduled_asleep(0, 15));
+        assert!(!s.is_scheduled_asleep(2, 15));
+    }
+
+    #[test]
+    fn unscheduled_nodes_never_sleep() {
+        let mut s = sched3();
+        // Node 6 arrives mid-run; until folded in it is always awake.
+        assert_eq!(s.shift_of(6), None);
+        assert!(!s.is_scheduled_asleep(6, 15));
+        assert_eq!(s.last_wake_at(6, 35), 0);
+        s.assign(6, 1);
+        assert_eq!(s.shift_of(6), Some(1));
+        assert!(s.is_scheduled_asleep(6, 5));
+        assert!(!s.is_scheduled_asleep(6, 15));
+    }
+
+    #[test]
+    fn single_or_empty_schedule_is_always_on() {
+        let one = ShiftSchedule::new(vec![vec![0, 1]], 10, 2);
+        let none = ShiftSchedule::always_on(10, 2);
+        for now in [0u64, 7, 15, 100] {
+            for id in 0..2 {
+                assert!(!one.is_scheduled_asleep(id, now));
+                assert!(!none.is_scheduled_asleep(id, now));
+            }
+        }
+    }
+
+    #[test]
+    fn last_wake_at_is_the_latest_on_duty_boundary() {
+        let s = sched3();
+        // Node 2 (shift 1) is awake during periods 1, 4, 7...: ticks
+        // [10,20), [40,50), ...
+        assert_eq!(s.last_wake_at(2, 15), 10);
+        assert_eq!(s.last_wake_at(2, 20), 10, "next window is [40,50)");
+        assert_eq!(s.last_wake_at(2, 39), 10);
+        assert_eq!(s.last_wake_at(2, 45), 40);
+        // Before its first window the node has never woken.
+        assert_eq!(s.last_wake_at(2, 5), 0);
+        // Node 0 (shift 0) woke at the very start.
+        assert_eq!(s.last_wake_at(0, 5), 0);
+        assert_eq!(s.last_wake_at(0, 29), 0);
+        assert_eq!(s.last_wake_at(0, 35), 30);
+    }
+
+    #[test]
+    fn lifecycle_reports_three_states() {
+        let mut net = Network::new(Aabb::square(50.0));
+        for i in 0..6 {
+            net.add_node(Point::new(5.0 + 2.0 * i as f64, 10.0), 4.0, 8.0);
+        }
+        let s = sched3();
+        assert_eq!(s.state_of(0, 5, &net), NodeLifecycle::Awake);
+        assert_eq!(s.state_of(2, 5, &net), NodeLifecycle::Asleep);
+        net.fail_node(2);
+        assert_eq!(s.state_of(2, 5, &net), NodeLifecycle::Dead);
+        assert_eq!(s.state_of(2, 15, &net), NodeLifecycle::Dead);
+    }
+
+    #[test]
+    fn apply_sleep_flags_matches_schedule() {
+        let mut net = Network::new(Aabb::square(50.0));
+        for i in 0..6 {
+            net.add_node(Point::new(5.0 + 2.0 * i as f64, 10.0), 4.0, 8.0);
+        }
+        let s = sched3();
+        s.apply_sleep_flags(&mut net, 12);
+        for id in 0..6 {
+            assert_eq!(net.is_sleeping(id), s.is_scheduled_asleep(id, 12));
+        }
+        // A dead node's flag is cleared even while its shift is off duty.
+        net.fail_node(0);
+        s.apply_sleep_flags(&mut net, 25);
+        assert!(!net.is_sleeping(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two shifts")]
+    fn overlapping_shifts_rejected() {
+        let _ = ShiftSchedule::new(vec![vec![0, 1], vec![1, 2]], 10, 3);
+    }
+
+    #[test]
+    fn least_loaded_shift_breaks_ties_low() {
+        let s = ShiftSchedule::new(vec![vec![0, 1], vec![2], vec![3]], 10, 4);
+        assert_eq!(s.least_loaded_shift(), Some(1));
+        assert_eq!(ShiftSchedule::always_on(10, 4).least_loaded_shift(), None);
+    }
+}

@@ -159,6 +159,38 @@ pub enum TraceEvent {
         /// Energy units drained.
         amount: f64,
     },
+    /// A rotation shift took over duty (see `decor_net::rotation`).
+    ShiftBegin {
+        /// The shift now on duty.
+        shift: u64,
+        /// Nodes awake during this shift period (members plus any
+        /// emergency wake-ups and unscheduled nodes).
+        awake: u64,
+    },
+    /// A rotation shift went off duty.
+    ShiftEnd {
+        /// The shift that just finished its period.
+        shift: u64,
+    },
+    /// A node turned its radio off for a scheduled sleep period.
+    NodeSleep {
+        /// The node going to sleep.
+        node: u64,
+    },
+    /// A scheduled-asleep node woke back up for duty.
+    NodeWake {
+        /// The waking node.
+        node: u64,
+    },
+    /// Battery accounting: energy a node spent over its last awake span
+    /// (radio traffic plus idle listening), emitted when it goes to sleep
+    /// or dies.
+    BatteryDrain {
+        /// The node whose battery drained.
+        node: u64,
+        /// Energy units spent since the node last woke.
+        amount: f64,
+    },
 }
 
 impl TraceEvent {
@@ -188,6 +220,11 @@ impl TraceEvent {
             TraceEvent::ChaosUnblackhole { .. } => "chaos_unblackhole",
             TraceEvent::ChaosLatency { .. } => "chaos_latency",
             TraceEvent::ChaosDrain { .. } => "chaos_drain",
+            TraceEvent::ShiftBegin { .. } => "shift_begin",
+            TraceEvent::ShiftEnd { .. } => "shift_end",
+            TraceEvent::NodeSleep { .. } => "node_sleep",
+            TraceEvent::NodeWake { .. } => "node_wake",
+            TraceEvent::BatteryDrain { .. } => "battery_drain",
         }
     }
 }
@@ -294,9 +331,18 @@ impl TraceRecord {
             TraceEvent::ChaosLatency { extra } => {
                 let _ = write!(s, ",\"extra\":{extra}");
             }
-            TraceEvent::ChaosDrain { node, amount } => {
+            TraceEvent::ChaosDrain { node, amount } | TraceEvent::BatteryDrain { node, amount } => {
                 let _ = write!(s, ",\"node\":{node},\"amount\":");
                 push_f64(s, *amount);
+            }
+            TraceEvent::ShiftBegin { shift, awake } => {
+                let _ = write!(s, ",\"shift\":{shift},\"awake\":{awake}");
+            }
+            TraceEvent::ShiftEnd { shift } => {
+                let _ = write!(s, ",\"shift\":{shift}");
+            }
+            TraceEvent::NodeSleep { node } | TraceEvent::NodeWake { node } => {
+                let _ = write!(s, ",\"node\":{node}");
             }
         }
         s.push('}');
@@ -407,6 +453,14 @@ mod tests {
                 node: 5,
                 amount: 1.5,
             },
+            TraceEvent::ShiftBegin { shift: 1, awake: 6 },
+            TraceEvent::ShiftEnd { shift: 0 },
+            TraceEvent::NodeSleep { node: 4 },
+            TraceEvent::NodeWake { node: 4 },
+            TraceEvent::BatteryDrain {
+                node: 4,
+                amount: 2.5,
+            },
         ];
         for ev in events {
             let kind = ev.kind();
@@ -461,6 +515,34 @@ mod tests {
             })
             .canonical(),
             r#"{"seq":3,"t":17,"ev":"chaos_drain","node":2,"amount":0.5}"#
+        );
+    }
+
+    #[test]
+    fn rotation_variants_serialize_canonically() {
+        assert_eq!(
+            rec(TraceEvent::ShiftBegin { shift: 2, awake: 5 }).canonical(),
+            r#"{"seq":3,"t":17,"ev":"shift_begin","shift":2,"awake":5}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::ShiftEnd { shift: 1 }).canonical(),
+            r#"{"seq":3,"t":17,"ev":"shift_end","shift":1}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::NodeSleep { node: 7 }).canonical(),
+            r#"{"seq":3,"t":17,"ev":"node_sleep","node":7}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::NodeWake { node: 7 }).canonical(),
+            r#"{"seq":3,"t":17,"ev":"node_wake","node":7}"#
+        );
+        assert_eq!(
+            rec(TraceEvent::BatteryDrain {
+                node: 7,
+                amount: 12.25
+            })
+            .canonical(),
+            r#"{"seq":3,"t":17,"ev":"battery_drain","node":7,"amount":12.25}"#
         );
     }
 

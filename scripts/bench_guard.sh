@@ -67,3 +67,9 @@ guard BENCH_PR4.json pr4_spatial "pr4/centralized_greedy_k2_2000pts/sharded_engi
 PR6_MAX_POINTS=2000 guard BENCH_PR6.json pr6_scale "pr6/restore_area_r24/n2000"
 PR8_RUNS=200 guard BENCH_PR8.json pr8_throughput "pr8/matrix/serve_batch_64"
 PR8_RUNS=200 guard BENCH_PR9.json pr8_throughput "pr8/matrix/serve_batch_64"
+
+# pr9_alloc self-asserts against ALLOC_BUDGET.json (allocation counts are
+# deterministic — no tolerance). Running it here pins the rotation code
+# to the committed steady-state budget alongside the timing gates.
+echo "bench_guard: pr9_alloc vs ALLOC_BUDGET.json"
+cargo bench -q -p decor-bench --features alloc-counter --bench pr9_alloc >&2

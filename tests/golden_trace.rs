@@ -16,12 +16,12 @@
 #![cfg(feature = "trace")]
 
 use decor::core::{
-    CoverageMap, DeploymentConfig, GridDecor, HoleHealing, InvariantChecker, LinkConfig, Placer,
-    VoronoiDecor,
+    run_endurance, CentralizedGreedy, CoverageMap, DeploymentConfig, EnduranceConfig, GridDecor,
+    HoleHealing, InvariantChecker, LinkConfig, Placer, VoronoiDecor,
 };
-use decor::geom::{Aabb, Point};
+use decor::geom::{Aabb, Disk, Point};
 use decor::lds::{halton_points, random_points};
-use decor::net::FaultPlan;
+use decor::net::{FaultPlan, RotationConfig};
 use decor::trace::{first_divergence, TraceHandle};
 use std::path::PathBuf;
 
@@ -172,6 +172,44 @@ fn voronoi_large_field_restoration_matches_golden() {
     map.verify_consistency();
     let trace = cfg.trace.jsonl().expect("JSONL sink attached");
     assert_matches_fixture("voronoi_large_restore.jsonl", &trace);
+}
+
+/// Rotation + failure endurance: a compact k=3 deployment duty-cycles
+/// its agreed shifts, a scripted disaster kills part of one stack at
+/// period 1, neighbors detect the silence in-network, and the rotation
+/// carries on to the horizon. The fixture pins the whole lifecycle
+/// stream — shift boundaries, sleep/wake transitions, battery-drain
+/// summaries, the failure and its heartbeat-miss detection — so any
+/// drift in schedule agreement, rotation order or detector behavior
+/// shows up as a first-divergence report.
+#[test]
+fn endurance_rotation_disaster_matches_golden() {
+    let field = Aabb::square(FIELD_SIDE);
+    let mut cfg = DeploymentConfig::with_k(3);
+    // A short comms radius keeps the neighbor graph (and the fixture)
+    // sparse while staying connected across the dense stacks.
+    cfg.rc = 5.0;
+    let mut map = CoverageMap::new(halton_points(60, &field), &field, &cfg);
+    CentralizedGreedy.place(&mut map, &cfg);
+    assert_eq!(map.count_below(3), 0, "scenario must start 3-covered");
+    // Trace only the endurance loop, not the deployment placement.
+    cfg.rotation = Some(RotationConfig::default());
+    cfg.trace = TraceHandle::jsonl_writer();
+    let e = EnduranceConfig {
+        rotate: true,
+        max_periods: 4,
+        timeout_periods: 2,
+        disasters: vec![(1, Disk::new(Point::new(10.0, 12.0), 1.5))],
+        ..EnduranceConfig::default()
+    };
+    let report = run_endurance(&mut map, &CentralizedGreedy, &cfg, &e);
+    assert!(report.shifts > 1, "the deployment must actually rotate");
+    assert!(report.disaster_deaths > 0, "the disc must hit someone");
+    assert!(report.detected_deaths > 0, "the death must be detected");
+    assert!(report.ended_by_horizon, "the run must survive the disaster");
+    assert_eq!(report.false_positives, 0);
+    let trace = cfg.trace.jsonl().expect("JSONL sink attached");
+    assert_matches_fixture("endurance_rotation.jsonl", &trace);
 }
 
 #[test]
